@@ -1,0 +1,76 @@
+"""Shared scaffolding for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures
+(DESIGN.md §4 maps them) at ``BENCH`` scale — big enough that every
+qualitative shape is visible, small enough that the whole harness runs
+in a few minutes — and prints the regenerated rows/series so a
+``pytest benchmarks/ --benchmark-only`` run doubles as a results report.
+
+Benchmarks wrap whole simulation sweeps, so every one uses
+``benchmark.pedantic(rounds=1, iterations=1)``: the quantity being
+"benchmarked" is the wall-clock cost of regenerating the artifact, and
+re-running a multi-second sweep five times would add nothing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.profiles import Profile
+
+#: Rendered artifacts are also appended here (pytest captures stdout for
+#: passing tests, so the printed tables would otherwise be lost).
+ARTIFACTS_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "bench_artifacts.txt"
+)
+
+#: The benchmark-scale profile (between the test "micro" and "smoke").
+BENCH = Profile(
+    name="bench",
+    duration=300.0,
+    warmup=100.0,
+    trials=1,
+    network_sizes=(100, 200),
+    reference_size=200,
+    cache_sizes=(5, 10, 20, 50, 100),
+    ping_intervals=(10.0, 60.0, 240.0, 480.0),
+    baseline_queries=400,
+    max_extent=200,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> Profile:
+    return BENCH
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_artifacts_file():
+    """Start each benchmark session with an empty artifacts file."""
+    ARTIFACTS_PATH.write_text(
+        "Regenerated artifacts from `pytest benchmarks/ --benchmark-only`\n"
+        f"(profile: {BENCH.name}; see benchmarks/conftest.py)\n\n"
+    )
+    yield
+
+
+def run_and_report(benchmark, producer, *args):
+    """Benchmark ``producer(*args)`` once and report what it regenerated.
+
+    ``producer`` returns an ExperimentResult or a list of them.  The
+    rendering is printed (visible with ``-s``) and appended to
+    ``bench_artifacts.txt`` (always), so a plain captured run still
+    leaves the regenerated tables on disk.
+    """
+    results = benchmark.pedantic(producer, args=args, rounds=1, iterations=1)
+    if not isinstance(results, list):
+        results = [results]
+    print()
+    with ARTIFACTS_PATH.open("a", encoding="utf-8") as sink:
+        for result in results:
+            rendered = result.render()
+            print(rendered)
+            sink.write(rendered + "\n\n")
+    return results

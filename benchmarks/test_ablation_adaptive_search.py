@@ -1,0 +1,27 @@
+"""Ablation bench: adaptive k-parallel probing (paper §6.2 future work).
+
+Compares three probing disciplines on the same workload: the spec's
+strictly serial mode, fixed k=10 walkers, and adaptive escalation
+(start serial, double on dry spells).  Adaptive should approach the
+serial probe cost on popular items while crushing the worst-case
+response time on rare ones.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import run_adaptive_search_ablation
+
+
+def test_adaptive_search_tradeoff(benchmark, bench_profile):
+    results = run_and_report(
+        benchmark, run_adaptive_search_ablation, bench_profile
+    )
+    rows = {label: row for label, *row in results[0].rows}
+    serial_probes, _, serial_p95 = rows["serial (k=1)"]
+    adaptive_probes, _, adaptive_p95 = rows["adaptive"]
+    fixed_probes, _, _ = rows["fixed k=10"]
+    # Adaptive's probe bill sits below fixed k=10's...
+    assert adaptive_probes <= fixed_probes + 1.0
+    # ...while its tail response time beats strictly serial probing.
+    assert adaptive_p95 < serial_p95

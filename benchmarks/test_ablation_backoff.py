@@ -1,0 +1,20 @@
+"""Ablation bench: DoBackoff (Table 2 flag).
+
+With DoBackoff=No (the default), a refused probe is treated like a death
+and the entry is evicted — the protocol's inherent throttling (§6.3).
+With DoBackoff=Yes, the entry survives the refusal.  This ablation shows
+the tradeoff under tight capacity and the load-concentrating MR stack.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import run_backoff_ablation
+
+
+def test_backoff_tradeoff(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_backoff_ablation, bench_profile)
+    rows = {flag: row for flag, *row in results[0].rows}
+    # Both modes keep the network functional.
+    assert rows[False][2] < 0.6
+    assert rows[True][2] < 0.6

@@ -1,0 +1,19 @@
+"""Ablation bench: pong-provenance defense vs the colluding attack.
+
+The paper leaves malicious-peer *detection* to future work (§6.4); this
+bench measures the implemented heuristics (repro.extensions.detection)
+against the attack that defeats MR — colluding Bad-pong poisoning.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import run_detection_ablation
+
+
+def test_detection_restores_mr(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_detection_ablation, bench_profile)
+    rows = {flag: row for flag, *row in results[0].rows}
+    undefended_unsat = rows[False][1]
+    defended_unsat = rows[True][1]
+    assert defended_unsat < undefended_unsat - 0.05

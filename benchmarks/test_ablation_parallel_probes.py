@@ -1,0 +1,20 @@
+"""Ablation bench: parallel probing (paper §6.2, response-time analysis).
+
+The paper argues k parallel walkers cost at most k-1 extra probes while
+dividing response time by ~k, and leaves adaptive-k to future work.
+This bench regenerates that tradeoff as a table over k.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import run_parallel_ablation
+
+
+def test_parallel_probe_tradeoff(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_parallel_ablation, bench_profile)
+    rows = {k: row for k, *row in results[0].rows}
+    # Cost overhead bounded by roughly k-1 extra probes.
+    assert rows[10][0] <= rows[1][0] + 10
+    # Response time improves substantially with 10 walkers.
+    assert rows[10][2] < rows[1][2] / 2.0

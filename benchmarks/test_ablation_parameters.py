@@ -1,0 +1,35 @@
+"""Ablation benches: the Table 2 parameters the paper fixes but never
+sweeps — PongSize and IntroProb.
+
+DESIGN.md §5 calls these out as design-choice ablations: PongSize
+drives how far one query can chain beyond the link cache; IntroProb is
+the only path by which newcomers enter existing caches.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import (
+    run_intro_prob_ablation,
+    run_pong_size_ablation,
+)
+
+
+def test_pong_size_sharing_matters(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_pong_size_ablation, bench_profile)
+    rows = {size: row for size, *row in results[0].rows}
+    # No sharing (PongSize 0) leaves far more queries unsatisfied than
+    # the spec's PongSize 5.
+    assert rows[0][1] > rows[5][1] + 0.1
+    # Beyond a handful the returns diminish: 10 is within a few points
+    # of 5 on satisfaction.
+    assert abs(rows[10][1] - rows[5][1]) < 0.12
+
+
+def test_intro_prob_populates_caches(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_intro_prob_ablation, bench_profile)
+    rows = {p: row for p, *row in results[0].rows}
+    # More introduction means fuller caches under churn...
+    assert rows[0.5][2] >= rows[0.0][2]
+    # ...and the network functions across the whole sweep.
+    assert all(row[1] < 0.6 for row in rows.values())

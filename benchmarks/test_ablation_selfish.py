@@ -1,0 +1,22 @@
+"""Ablation bench: selfish peers vs probe payments (paper §3.3).
+
+The paper argues selfish peers can game GUESS by probing everyone at
+once and proposes per-probe payments as the deterrent; this bench
+measures both sides of that argument.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import run_selfish_ablation
+
+
+def test_selfish_payments_tradeoff(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_selfish_ablation, bench_profile)
+    rows = {label: row for label, *row in results[0].rows}
+    free = rows["20% selfish, free probes"]
+    paying = rows["20% selfish, paying"]
+    # Free-probing cheats fire far more probes per query than paying ones.
+    assert free[2] > 2.0 * paying[2]
+    # Honest peers stay functional in every scenario.
+    assert all(row[0] < 0.6 for row in rows.values())

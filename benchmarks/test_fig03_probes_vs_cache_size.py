@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 3 (probes/query vs CacheSize per NetworkSize)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.cache_size import run_fig3
+
+
+def test_fig3_probes_grow_with_cache_size(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig3, bench_profile)
+    for label, points in results[0].series.items():
+        costs = [cost for _, cost in points]
+        # Paper shape: larger caches mean more probes per query.
+        assert costs[-1] > costs[0], f"series {label} should rise"

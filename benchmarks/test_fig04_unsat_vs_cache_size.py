@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 4 (unsatisfaction vs CacheSize per NetworkSize)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.cache_size import run_fig4
+
+
+def test_fig4_unsat_minimum_at_moderate_cache(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig4, bench_profile)
+    for label, points in results[0].series.items():
+        rates = [rate for _, rate in points]
+        # Paper shape: the extremes are not the minimum — a moderate
+        # cache size beats the tiniest cache.
+        assert min(rates) < rates[0], f"series {label}: tiny cache should lose"

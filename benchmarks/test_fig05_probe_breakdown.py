@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 5 (dead vs good probes vs CacheSize)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.cache_size import run_fig5
+
+
+def test_fig5_dead_probes_grow_good_probes_plateau(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig5, bench_profile)
+    series = results[0].series
+    dead = [v for _, v in series["Dead"]]
+    good = [v for _, v in series["Good"]]
+    # Paper shape: dead probes rise with cache size; good probes do NOT
+    # keep rising proportionally (they peak at a moderate size).
+    assert dead[-1] > dead[0]
+    assert max(good) < 3 * max(1e-9, good[0]) or max(good) != good[-1]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 6 (largest component vs PingInterval per CacheSize)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ping_interval import run_fig6
+
+
+def test_fig6_long_intervals_fragment_overlay(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig6, bench_profile)
+    series = results[0].series
+    assert series
+    for label, points in series.items():
+        lccs = dict(points)
+        # Paper shape: tighter maintenance keeps the overlay at least as
+        # connected as sloppy maintenance.
+        tightest = lccs[min(lccs)]
+        loosest = lccs[max(lccs)]
+        assert tightest >= loosest, label

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 7 (relative LCC vs PingInterval per NetworkSize)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ping_interval import run_fig7
+
+
+def test_fig7_relative_connectivity_scale_free(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig7, bench_profile)
+    series = results[0].series
+    assert len(series) == len(bench_profile.network_sizes)
+    # Paper shape: at a common (tight) ping interval, relative LCC is
+    # high for every network size — connectivity does not depend on N.
+    tight = min(bench_profile.ping_intervals)
+    for label, points in series.items():
+        relative = dict(points)[tight]
+        assert relative > 0.9, f"{label} should stay connected when maintained"

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 9 (probes/query per QueryProbe policy)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.policy_comparison import run_fig9
+
+
+def test_fig9_query_probe_policy_sweep(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig9, bench_profile)
+    rows = {row[0]: row for row in results[0].rows}
+    assert set(rows) == {"Random", "MRU", "LRU", "MFS", "MR"}
+    # Paper shape: MRU (freshest-first) wastes fewer probes on corpses
+    # than LRU (stalest-first).
+    assert rows["MRU"][2] <= rows["LRU"][2]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 10 (probes/query per QueryPong policy)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.policy_comparison import run_fig10
+
+
+def test_fig10_mfs_pongs_cut_cost(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig10, bench_profile)
+    rows = {row[0]: row for row in results[0].rows}
+    # Paper shape: MFS pongs cut total cost by a large factor vs Random.
+    assert rows["MFS"][3] < rows["Random"][3] / 1.5

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 11 (probes/query per CacheReplacement policy)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.policy_comparison import run_fig11
+
+
+def test_fig11_lfs_replacement_wins(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig11, bench_profile)
+    rows = {row[0]: row for row in results[0].rows}
+    assert set(rows) == {"Random", "LRU", "MRU", "LFS", "LR"}
+    # Paper shape: LFS (retain big sharers) is the cheapest policy.
+    assert rows["LFS"][3] == min(row[3] for row in rows.values())

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 12 (unsatisfied queries per QueryPong policy)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.policy_comparison import run_fig12
+
+
+def test_fig12_unsatisfaction_band(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig12, bench_profile)
+    rates = {policy: unsat for policy, unsat in results[0].rows}
+    # Valid probabilities for every policy, and no policy pushes
+    # unsatisfaction anywhere near total failure in a healthy network.
+    assert all(0.0 <= rate <= 0.6 for rate in rates.values())

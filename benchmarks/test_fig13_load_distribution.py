@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 13 (ranked load per policy combination)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.fairness import run_fig13
+
+
+def test_fig13_load_concentration(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig13, bench_profile)
+    result = results[0]
+    stats = {row[0]: row for row in result.rows}
+    # Paper shape: MFS/LFS concentrates load (higher top-1% share and
+    # Gini than Random/Random) while Random's total probe volume is a
+    # multiple of MFS/LFS's.
+    assert stats["MFS/LFS"][2] > stats["Random/Random"][2]
+    assert stats["MFS/LFS"][3] > stats["Random/Random"][3]
+    assert stats["Random/Random"][1] > 2 * stats["MFS/LFS"][1]

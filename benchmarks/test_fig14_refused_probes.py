@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 14 (probe breakdown vs capacity, MR policies)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.capacity import run_fig14
+
+
+def test_fig14_tight_capacity_refuses_probes(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_fig14, bench_profile)
+    rows = results[0].rows
+    by_key = {(n, cap): refused for n, cap, _, refused, _ in rows}
+    largest = max(n for n, _ in by_key)
+    # Paper shape: at the largest network, capacity 1 refuses more
+    # probes than capacity 50.
+    assert by_key[(largest, 1)] >= by_key[(largest, 50)]

@@ -1,0 +1,35 @@
+"""Bench: regenerate Figures 16-18 (non-colluding cache poisoning).
+
+CacheSize is shrunk to 30 at this reduced scale so the 20% attacker
+population can displace a full cache, matching the paper's
+attackers-vs-capacity ratio at NetworkSize 1000 / CacheSize 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.malicious import run_fig16_18
+
+BENCH_CACHE = 30
+
+
+def test_fig16_17_18_dead_pong_attack(benchmark, bench_profile):
+    profile = replace(
+        bench_profile, duration=700.0, warmup=200.0, reference_size=300
+    )
+    results = run_and_report(benchmark, run_fig16_18, profile, BENCH_CACHE)
+    fig17 = results[1]
+    unsat = {
+        policy: dict(points) for policy, points in fig17.series.items()
+    }
+    # Paper shape: MFS collapses with dead-IP poisoning; Random and MR
+    # stay close to their clean-network levels.
+    assert unsat["MFS"][20.0] > unsat["MFS"][0.0] + 0.25
+    assert unsat["Random"][20.0] < unsat["Random"][0.0] + 0.15
+    assert unsat["MR"][20.0] < unsat["MR"][0.0] + 0.15
+
+    fig18 = results[2]
+    good = {policy: dict(points) for policy, points in fig18.series.items()}
+    assert good["MFS"][20.0] < good["MFS"][0.0] / 2.0

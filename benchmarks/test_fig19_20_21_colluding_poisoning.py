@@ -1,0 +1,37 @@
+"""Bench: regenerate Figures 19-21 (colluding cache poisoning).
+
+Same CacheSize scaling note as the Figures 16-18 bench.  Poisoning
+accumulates over time (each probed attacker imports PongSize accomplices),
+so this bench runs longer and slightly larger than the shared profile —
+a short window understates the collapse the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.malicious import run_fig19_21
+
+BENCH_CACHE = 30
+
+
+def test_fig19_20_21_colluding_attack(benchmark, bench_profile):
+    profile = replace(
+        bench_profile, duration=700.0, warmup=200.0, reference_size=300
+    )
+    results = run_and_report(benchmark, run_fig19_21, profile, BENCH_CACHE)
+    fig20 = results[1]
+    unsat = {
+        policy: dict(points) for policy, points in fig20.series.items()
+    }
+    # Paper shape: under collusion BOTH MFS and MR collapse, while MR*
+    # (first-hand NumRes only) and Random remain robust.
+    assert unsat["MFS"][20.0] > unsat["MFS"][0.0] + 0.25
+    assert unsat["MR"][20.0] > unsat["MR"][0.0] + 0.25
+    assert unsat["MR*"][20.0] < unsat["MR*"][0.0] + 0.15
+    assert unsat["Random"][20.0] < unsat["Random"][0.0] + 0.15
+
+    fig21 = results[2]
+    good = {policy: dict(points) for policy, points in fig21.series.items()}
+    assert good["MR"][20.0] < good["MR"][0.0] / 2.0

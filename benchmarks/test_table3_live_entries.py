@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 3 (live cache-entry breakdown vs CacheSize)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.cache_size import run_table3
+
+
+def test_table3_live_entry_breakdown(benchmark, bench_profile):
+    results = run_and_report(benchmark, run_table3, bench_profile)
+    rows = results[0].rows
+    assert rows, "Table 3 must produce rows"
+    # Paper shape: the fraction of live entries falls as CacheSize grows.
+    fractions = [fraction for _, fraction, _ in rows]
+    assert fractions[0] > fractions[-1]

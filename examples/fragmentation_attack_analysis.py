@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fragmentation-attack analysis (paper §3.3).
+
+The paper warns that GUESS is exposed to fragmentation when
+well-referenced peers vanish simultaneously — e.g. colluding attackers
+who first worm their way into many link caches and then disappear.  This
+example grows a network, inspects *who* the overlay depends on, and
+compares targeted removal of the most-referenced peers against random
+removal of the same number.
+
+Run:
+    python examples/fragmentation_attack_analysis.py
+"""
+
+import random
+
+from repro import GuessSimulation, ProtocolParams, SystemParams
+from repro.analysis.overlay_stats import OverlayStats
+from repro.reporting.tables import format_table
+
+NETWORK = 400
+
+
+def main() -> None:
+    print(f"growing a {NETWORK}-peer overlay (MFS stack, 20 simulated minutes)...")
+    sim = GuessSimulation(
+        SystemParams(network_size=NETWORK, lifespan_multiplier=0.3),
+        # A small cache + the efficiency-oriented MFS stack concentrate
+        # references on the big sharers — exactly the sparse, hub-heavy
+        # overlay that makes targeted removal dangerous.  (With the
+        # default CacheSize of 100 the overlay is so dense that even
+        # targeted removal barely dents it — worth trying.)
+        ProtocolParams.all_same_policy("MFS", cache_size=8),
+        seed=13,
+    )
+    sim.run(1200.0)
+    stats = OverlayStats(sim.snapshot_overlay())
+
+    in_q = stats.in_degree_quantiles((0.5, 0.99))
+    print(
+        f"\nin-degree: median {in_q[0.5]:.0f}, "
+        f"99th percentile {in_q[0.99]:.0f} "
+        "(a few peers sit in very many caches)"
+    )
+    top = stats.most_referenced(3)
+    print("most-referenced peers:", ", ".join(
+        f"#{address} ({count} caches)" for address, count in top
+    ))
+
+    rng = random.Random(0)
+    rows = []
+    for fraction in (0.01, 0.05, 0.10):
+        targeted = stats.targeted_removal_lcc(fraction)
+        randoms = stats.random_removal_lcc(fraction, rng)
+        rows.append((f"{fraction:.0%}", randoms, targeted))
+    print()
+    print(
+        format_table(
+            ("Peers removed", "Random removal LCC", "Targeted removal LCC"),
+            rows,
+            title=f"Surviving largest component (of {NETWORK})",
+        )
+    )
+    print(
+        "\ntargeted removal of the most-referenced peers shatters this\n"
+        "sparse overlay while random churn of the same size barely dents\n"
+        "it — the §3.3 fragmentation-attack exposure, quantified.  The\n"
+        "paper's remedies: bigger caches add redundancy (denser overlay),\n"
+        "and healthy pinging (Figs. 6-7) re-knits it faster than\n"
+        "attackers can hollow it out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Hotspots: who carries the load, and what happens at capacity.
+
+Efficiency-oriented policies steer probes toward the few peers that
+share the most (or answer the most), concentrating load (paper Figure
+13).  This example shows the concentration, then caps every peer's
+capacity and demonstrates the protocol's inherent throttling: refused
+probes rise, yet satisfaction barely moves (Figures 14-15).
+
+Run:
+    python examples/hotspots_and_capacity.py
+"""
+
+from repro import GuessSimulation, ProtocolParams, SystemParams
+from repro.reporting.tables import format_table
+
+NETWORK = 400
+
+
+def load_profile(label: str, protocol: ProtocolParams) -> tuple:
+    sim = GuessSimulation(
+        SystemParams(network_size=NETWORK), protocol, seed=47, warmup=200.0
+    )
+    sim.run(1200.0)
+    report = sim.report()
+    dist = report.load_distribution()
+    return (
+        label,
+        dist.total,
+        dist.load_at_rank(1),
+        dist.top_share(0.01),
+        round(dist.gini(), 3),
+    )
+
+
+def capacity_run(max_probes: int | None) -> tuple:
+    protocol = ProtocolParams.all_same_policy("MR")
+    sim = GuessSimulation(
+        SystemParams(network_size=NETWORK, max_probes_per_second=max_probes),
+        protocol,
+        seed=47,
+        warmup=200.0,
+    )
+    sim.run(1200.0)
+    report = sim.report()
+    return (
+        "unlimited" if max_probes is None else max_probes,
+        report.good_probes_per_query,
+        report.refused_probes_per_query,
+        report.unsatisfied_rate,
+    )
+
+
+def main() -> None:
+    print(f"load concentration across policy stacks ({NETWORK} peers):\n")
+    rows = [
+        load_profile("Random/Random", ProtocolParams()),
+        load_profile("MFS/MFS/LFS", ProtocolParams.all_same_policy("MFS")),
+        load_profile("MR/MR/LR", ProtocolParams.all_same_policy("MR")),
+    ]
+    print(
+        format_table(
+            ("Stack", "Total probes", "Busiest peer",
+             "Top-1% share", "Gini"),
+            rows,
+            title="Who receives the probes (paper Fig. 13)",
+        )
+    )
+    print(
+        "\nMFS/MR focus load on productive peers — unfair, but the total "
+        "probe volume drops severalfold.\n"
+    )
+
+    print("now capping per-peer capacity under the MR stack:\n")
+    capacity_rows = [capacity_run(c) for c in (None, 10, 2)]
+    print(
+        format_table(
+            ("MaxProbes/s", "Good/Query", "Refused/Query", "Unsatisfied"),
+            capacity_rows,
+            title="Capacity limits (paper Figs. 14-15)",
+        )
+    )
+    print(
+        "\nrefusals rise as capacity tightens, but satisfaction holds: a "
+        "refused peer is evicted\nfrom the prober's cache and stops "
+        "circulating in pongs, shedding hotspot load."
+    )
+
+
+if __name__ == "__main__":
+    main()

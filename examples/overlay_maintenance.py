@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Overlay maintenance: tune PingInterval against fragmentation.
+
+A GUESS overlay has no standing connections — it stays connected only
+because peers ping their link-cache entries and evict corpses.  This
+example reproduces the paper's §6.1 connectivity analysis for one
+deployment question: *how lazy can maintenance get before the overlay
+fragments?*  (Paper Figures 6 and 7.)
+
+Run:
+    python examples/overlay_maintenance.py
+"""
+
+from repro import GuessSimulation, ProtocolParams, SystemParams
+from repro.reporting.series import format_series_block
+
+NETWORK = 400
+INTERVALS = (10.0, 30.0, 120.0, 300.0, 600.0)
+CACHE_SIZES = (5, 20, 50)
+
+
+def largest_component(cache_size: int, ping_interval: float) -> int:
+    # Pings only, under heavy churn (10x-shortened sessions): this is
+    # the regime where maintenance laziness actually fragments the
+    # overlay — at measured Gnutella session times it never does within
+    # this interval range.
+    system = SystemParams(
+        network_size=NETWORK, query_rate=0.0, lifespan_multiplier=0.1
+    )
+    protocol = ProtocolParams(
+        cache_size=cache_size, ping_interval=ping_interval
+    )
+    sim = GuessSimulation(
+        system, protocol, seed=31, health_sample_interval=None
+    )
+    sim.run(1500.0)
+    return sim.snapshot_overlay().largest_component_size()
+
+
+def main() -> None:
+    print(
+        f"measuring overlay connectivity ({NETWORK} peers, queries off, "
+        "25 simulated minutes per point)...\n"
+    )
+    series = {}
+    for cache_size in CACHE_SIZES:
+        label = f"CacheSize={cache_size}"
+        series[label] = [
+            (interval, largest_component(cache_size, interval))
+            for interval in INTERVALS
+        ]
+        print(f"  swept {label}")
+    print()
+    print(
+        format_series_block(
+            series,
+            x_label="PingInterval (s)",
+            title=f"Largest connected component (of {NETWORK})",
+        )
+    )
+    print(
+        "\nsmall caches fragment first as pings get lazy: connectivity\n"
+        "depends on the absolute number of live pointers per peer, and a\n"
+        "small cache has fewer pointers to lose (paper §6.1).  The paper's\n"
+        "guidance: pick CacheSize for query performance, then shrink\n"
+        "PingInterval until almost all entries stay live."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: run a GUESS network and read the headline metrics.
+
+Simulates 500 peers for 30 minutes (simulated) with the paper's default
+configuration (Tables 1-2), then prints the metrics the paper evaluates:
+probes per query, unsatisfied-query rate, probe breakdown, and cache
+health.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import GuessSimulation, ProtocolParams, SystemParams
+
+
+def main() -> None:
+    system = SystemParams(network_size=500)
+    protocol = ProtocolParams()  # all-Random policies, CacheSize 100
+
+    sim = GuessSimulation(system, protocol, seed=7, warmup=300.0)
+    print(f"simulating {system.network_size} peers for 30 simulated minutes...")
+    sim.run(1800.0)
+    report = sim.report()
+
+    print(f"\nqueries executed      : {report.queries}")
+    print(f"probes per query      : {report.probes_per_query:.1f}")
+    print(f"  good (live peers)   : {report.good_probes_per_query:.1f}")
+    print(f"  dead (wasted)       : {report.dead_probes_per_query:.1f}")
+    print(f"  refused (overload)  : {report.refused_probes_per_query:.2f}")
+    print(f"unsatisfied queries   : {report.unsatisfied_rate:.1%}")
+    print(f"mean response time    : {report.mean_response_time:.2f}s")
+    print(f"live cache entries    : {report.mean_fraction_live:.0%} "
+          f"({report.mean_absolute_live:.1f} of {protocol.cache_size})")
+    print(f"peer churn            : {report.deaths} deaths over the run")
+
+    overlay = sim.snapshot_overlay()
+    print(f"overlay connectivity  : largest component "
+          f"{overlay.largest_component_size()}/{system.network_size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Churn statistics for a lifetime workload.
+
+Answers the sizing questions behind §6.1: given a lifetime model, how
+fast does a network of N peers turn over, and what fraction of a link
+cache's entries should be expected to die within one PingInterval?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.metrics.summary import mean, quantile
+from repro.workload.lifetimes import LifetimeModel
+
+
+@dataclass(frozen=True)
+class ChurnStats:
+    """Monte-Carlo summary of a lifetime model.
+
+    Attributes:
+        median_lifetime: sampled median session length (s).
+        mean_lifetime: sampled mean session length (s).
+        p10_lifetime: the short-session tail (s).
+        turnover_per_hour: expected departures per hour in a network of
+            ``network_size`` peers (N / mean lifetime * 3600).
+        death_within_interval_p: probability a peer picked uniformly at
+            random (in steady state, by inspection paradox approximated
+            from fresh draws) dies within one ``interval``.
+    """
+
+    median_lifetime: float
+    mean_lifetime: float
+    p10_lifetime: float
+    turnover_per_hour: float
+    death_within_interval_p: float
+
+    @classmethod
+    def estimate(
+        cls,
+        model: LifetimeModel,
+        network_size: int,
+        interval: float,
+        rng: random.Random,
+        samples: int = 5000,
+    ) -> "ChurnStats":
+        """Estimate churn statistics by sampling ``model``.
+
+        Raises:
+            WorkloadError: on non-positive sizes/intervals.
+        """
+        if network_size < 1:
+            raise WorkloadError(
+                f"network_size must be >= 1, got {network_size}"
+            )
+        if interval <= 0:
+            raise WorkloadError(f"interval must be > 0, got {interval}")
+        if samples < 10:
+            raise WorkloadError(f"samples must be >= 10, got {samples}")
+        draws = [model.sample(rng) for _ in range(samples)]
+        mean_lifetime = mean(draws)
+        return cls(
+            median_lifetime=quantile(draws, 0.5),
+            mean_lifetime=mean_lifetime,
+            p10_lifetime=quantile(draws, 0.1),
+            turnover_per_hour=network_size / mean_lifetime * 3600.0,
+            death_within_interval_p=(
+                sum(1 for d in draws if d <= interval) / len(draws)
+            ),
+        )
+
+    def suggested_ping_interval(
+        self, cache_size: int, target_dead_per_cycle: float = 1.0
+    ) -> float:
+        """A back-of-envelope PingInterval for a given cache size.
+
+        A cache of ``c`` entries pinged round-robin revisits each entry
+        every ``c * interval`` seconds; keeping the expected number of
+        deaths per revisit cycle near ``target_dead_per_cycle`` gives
+        ``interval ≈ target * mean_lifetime / c²``... in practice the
+        simpler sizing the paper suggests is revisit-period ≪ median
+        lifetime, i.e. ``interval <= median_lifetime / cache_size``.
+        """
+        if cache_size < 1:
+            raise WorkloadError(f"cache_size must be >= 1, got {cache_size}")
+        if target_dead_per_cycle <= 0:
+            raise WorkloadError(
+                f"target_dead_per_cycle must be > 0, got {target_dead_per_cycle}"
+            )
+        return max(1.0, self.median_lifetime / cache_size * target_dead_per_cycle)

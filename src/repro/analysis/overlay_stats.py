@@ -1,0 +1,147 @@
+"""Structural statistics of a conceptual overlay snapshot.
+
+The paper argues (§3.3) that GUESS is exposed to *fragmentation attacks*
+when well-connected peers vanish simultaneously.  :class:`OverlayStats`
+quantifies that exposure for a snapshot:
+
+* in/out degree distributions (who would be missed?);
+* mean shortest-path length sampled by BFS (how quickly can pong
+  chaining reach the network?);
+* a targeted-removal experiment: drop the top in-degree peers and
+  measure the surviving largest component — the attack the paper
+  describes, run as analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+from repro.errors import TopologyError
+from repro.metrics.summary import mean, quantile
+from repro.network.address import Address
+from repro.network.overlay import OverlaySnapshot
+from repro.network.unionfind import UnionFind
+
+
+class OverlayStats:
+    """Structural analysis over one :class:`OverlaySnapshot`."""
+
+    def __init__(self, snapshot: OverlaySnapshot) -> None:
+        self.snapshot = snapshot
+        self._out: Dict[Address, int] = snapshot.out_degrees()
+        in_degrees: Dict[Address, int] = {a: 0 for a in snapshot.live}
+        for targets in snapshot.edges.values():
+            for target in targets:
+                in_degrees[target] += 1
+        self._in = in_degrees
+
+    # ------------------------------------------------------------------
+    # Degrees
+    # ------------------------------------------------------------------
+
+    def out_degree_quantiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)):
+        """Selected quantiles of the live out-degree distribution."""
+        values = [float(v) for v in self._out.values()]
+        if not values:
+            return {q: 0.0 for q in qs}
+        return {q: quantile(values, q) for q in qs}
+
+    def in_degree_quantiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)):
+        """Selected quantiles of the in-degree (who-points-at-me) distribution."""
+        values = [float(v) for v in self._in.values()]
+        if not values:
+            return {q: 0.0 for q in qs}
+        return {q: quantile(values, q) for q in qs}
+
+    def most_referenced(self, k: int = 10) -> List[tuple[Address, int]]:
+        """The ``k`` peers appearing in the most link caches.
+
+        These are exactly the peers whose simultaneous departure hurts
+        most (the fragmentation-attack targets).
+        """
+        ranked = sorted(self._in.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+
+    def mean_reach_path_length(self, sources: Sequence[Address]) -> float:
+        """Mean directed BFS distance from ``sources`` to reachable peers.
+
+        This approximates how many pong-chaining steps separate a
+        querier from the rest of the network.
+
+        Raises:
+            TopologyError: if a source is not live.
+        """
+        totals: List[float] = []
+        for source in sources:
+            if source not in self.snapshot.live:
+                raise TopologyError(f"source {source} is not live")
+            distances = {source: 0}
+            frontier = deque([source])
+            while frontier:
+                node = frontier.popleft()
+                for target in self.snapshot.edges.get(node, ()):
+                    if target not in distances:
+                        distances[target] = distances[node] + 1
+                        frontier.append(target)
+            reached = [d for d in distances.values() if d > 0]
+            if reached:
+                totals.append(mean([float(d) for d in reached]))
+        return mean(totals)
+
+    # ------------------------------------------------------------------
+    # Fragmentation attack
+    # ------------------------------------------------------------------
+
+    def targeted_removal_lcc(self, remove_fraction: float) -> int:
+        """LCC size after removing the top in-degree peers.
+
+        Args:
+            remove_fraction: fraction (0..1) of live peers removed, by
+                descending in-degree — the §3.3 fragmentation attack.
+
+        Returns:
+            Size of the largest surviving weakly connected component.
+        """
+        if not 0.0 <= remove_fraction < 1.0:
+            raise TopologyError(
+                f"remove_fraction must be in [0, 1), got {remove_fraction}"
+            )
+        count = int(len(self.snapshot.live) * remove_fraction)
+        doomed = {address for address, _ in self.most_referenced(count)}
+        survivors = self.snapshot.live - doomed
+        if not survivors:
+            return 0
+        uf = UnionFind(survivors)
+        for owner, targets in self.snapshot.edges.items():
+            if owner in doomed:
+                continue
+            for target in targets:
+                if target not in doomed:
+                    uf.union(owner, target)
+        return uf.largest_component_size()
+
+    def random_removal_lcc(self, remove_fraction: float, rng) -> int:
+        """LCC after removing uniformly random peers (attack control)."""
+        if not 0.0 <= remove_fraction < 1.0:
+            raise TopologyError(
+                f"remove_fraction must be in [0, 1), got {remove_fraction}"
+            )
+        live = sorted(self.snapshot.live)
+        count = int(len(live) * remove_fraction)
+        doomed = set(rng.sample(live, count)) if count else set()
+        survivors = self.snapshot.live - doomed
+        if not survivors:
+            return 0
+        uf = UnionFind(survivors)
+        for owner, targets in self.snapshot.edges.items():
+            if owner in doomed:
+                continue
+            for target in targets:
+                if target not in doomed:
+                    uf.union(owner, target)
+        return uf.largest_component_size()

@@ -1,0 +1,89 @@
+"""Response-time analysis (paper §6.2).
+
+The paper reasons about response time arithmetically: with serial probes
+every probe costs one timeout period, so a query needing ``p`` probes
+answers in ``~p * spacing`` seconds; ``k`` parallel walkers divide that
+by ``k`` at a cost of at most ``k - 1`` extra probes.  This module
+packages both the measured-distribution view (over retained
+:class:`~repro.core.search.QueryResult` records) and the paper's
+what-if estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.search import QueryResult
+from repro.errors import ConfigError
+from repro.metrics.summary import mean, quantile
+
+
+@dataclass(frozen=True)
+class ResponseTimeStats:
+    """Summary of satisfied-query response times.
+
+    Attributes:
+        count: satisfied queries measured.
+        mean: mean response time (s).
+        p50 / p95 / p99: quantiles (s).
+        worst: maximum observed (s).
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+    @classmethod
+    def from_results(cls, results: Sequence[QueryResult]) -> "ResponseTimeStats":
+        """Build from retained query records (``keep_queries=True`` runs).
+
+        Unsatisfied queries carry no response time and are skipped.
+        """
+        times = [
+            r.response_time for r in results if r.response_time is not None
+        ]
+        if not times:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, worst=0.0)
+        return cls(
+            count=len(times),
+            mean=mean(times),
+            p50=quantile(times, 0.5),
+            p95=quantile(times, 0.95),
+            p99=quantile(times, 0.99),
+            worst=max(times),
+        )
+
+
+def parallel_response_estimate(
+    probes_needed: float,
+    walkers: int,
+    spacing: float = 0.2,
+) -> tuple[float, float]:
+    """The paper's §6.2 arithmetic: ``(est. response time, est. probes)``.
+
+    Given a query that serially needs ``probes_needed`` probes, ``k``
+    walkers answer in ``ceil(p / k) * spacing`` seconds using at most
+    ``p + k - 1`` probes (the final wave is fully charged).
+
+    Example — the paper's own numbers: with MFS pongs averaging 17
+    probes, k=5 gives at most 21 probes and < 1 second::
+
+        >>> parallel_response_estimate(17, 5)
+        (0.8, 21.0)
+
+    Raises:
+        ConfigError: on non-positive inputs.
+    """
+    if probes_needed <= 0:
+        raise ConfigError(f"probes_needed must be > 0, got {probes_needed}")
+    if walkers < 1:
+        raise ConfigError(f"walkers must be >= 1, got {walkers}")
+    if spacing <= 0:
+        raise ConfigError(f"spacing must be > 0, got {spacing}")
+    waves = math.ceil(probes_needed / walkers)
+    return waves * spacing, float(probes_needed + walkers - 1)

@@ -1,0 +1,28 @@
+"""Forwarding-based baselines the paper compares GUESS against.
+
+* :mod:`repro.baselines.extent` — the shared population view and the
+  analytic machinery for "a query reaches E peers" semantics.
+* :mod:`repro.baselines.gnutella` — fixed-extent flooding (Gnutella):
+  cost is always the full extent, adaptivity is zero.
+* :mod:`repro.baselines.iterative_deepening` — coarse-grained flexible
+  extent: successive re-floods at growing extents (Yang & Garcia-Molina
+  [22]).
+
+These drive Figure 8's cost/unsatisfaction tradeoff curves.
+"""
+
+from repro.baselines.extent import PopulationView
+from repro.baselines.gnutella import (
+    FixedExtentSearch,
+    GnutellaOverlay,
+    fixed_extent_tradeoff,
+)
+from repro.baselines.iterative_deepening import IterativeDeepeningSearch
+
+__all__ = [
+    "PopulationView",
+    "FixedExtentSearch",
+    "GnutellaOverlay",
+    "fixed_extent_tradeoff",
+    "IterativeDeepeningSearch",
+]

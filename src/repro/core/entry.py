@@ -1,0 +1,82 @@
+"""Cache entries (paper Section 2.1, format (1)).
+
+An entry is a pointer to some peer Q::
+
+    {IP address of Q, TS, NumFiles, NumRes}
+
+* ``TS`` — timestamp of the last interaction with Q.  Updated whenever
+  the owner interacts with Q directly (either side initiating); **not**
+  updated when the entry is merely received in a Pong.
+* ``NumFiles`` — number of files Q shares, set by Q when it introduces
+  itself and propagated verbatim as entries are shared.  MFS/LFS rank on
+  this field; the paper's poisoning results hinge on it being unverified.
+* ``NumRes`` — number of results Q returned to the owner's last query.
+  MR/LR rank on this; the MR* variant refuses to import other peers'
+  NumRes values (see ``ProtocolParams.reset_num_results``).
+
+Entries are mutable (TS and NumRes change in place) but cheap to copy:
+pongs carry *copies*, never shared references — two peers updating one
+shared entry object would be action-at-a-distance that no real network
+has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.address import Address
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """A link-cache or query-cache entry.
+
+    Attributes:
+        address: the pointed-to peer's address.
+        ts: timestamp (seconds) of the owner's last interaction with it.
+        num_files: advertised shared-file count.
+        num_res: results it returned to the owner's last query.
+    """
+
+    address: Address
+    ts: float = 0.0
+    num_files: int = 0
+    num_res: int = 0
+
+    def copy(self) -> "CacheEntry":
+        """An independent copy, as carried in a Pong message."""
+        return CacheEntry(
+            address=self.address,
+            ts=self.ts,
+            num_files=self.num_files,
+            num_res=self.num_res,
+        )
+
+    def copy_for_import(self, reset_num_results: bool) -> "CacheEntry":
+        """Copy used when ingesting an entry learned from another peer.
+
+        Args:
+            reset_num_results: if True (the MR* behaviour), the imported
+                ``NumRes`` is zeroed so only first-hand experience ranks
+                the entry.
+        """
+        entry = self.copy()
+        if reset_num_results:
+            entry.num_res = 0
+        return entry
+
+    def touch(self, now: float) -> None:
+        """Record a direct interaction at time ``now``.
+
+        TS is monotone: replaying an older interaction (possible with the
+        virtual probe timestamps) never rolls it back.
+        """
+        if now > self.ts:
+            self.ts = now
+
+    def record_results(self, num_results: int, now: float) -> None:
+        """Reset NumRes from the response to a query probe (Section 2.1)."""
+        if num_results < 0:
+            raise ValueError(f"num_results must be >= 0, got {num_results}")
+        self.num_res = num_results
+        self.touch(now)

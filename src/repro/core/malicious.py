@@ -1,0 +1,176 @@
+"""Malicious peers (paper Sections 3.3 and 6.4).
+
+A malicious peer's goal is to make the system unusable by **poisoning**
+good peers' link caches through the Pong mechanism:
+
+* it never returns query results;
+* its pong entries are fabricated according to ``BadPongBehavior``:
+
+  - ``DEAD``: addresses of departed peers (non-colluding attack) — every
+    probe to them is wasted, and they dilute the cache;
+  - ``BAD``: addresses of *other malicious peers* (colluding attack) —
+    probed, they inject yet more bad entries, so bad entries enter caches
+    faster than MR can evict them (the paper's key collusion result);
+  - ``GOOD``: addresses of good peers (a camouflage control case);
+
+* fabricated entries carry inflated ``NumFiles``/``NumRes`` so that the
+  trusting MFS and (pong-carried) MR rankings prefer them — the paper's
+  explanation for why MFS collapses and MR* survives.
+
+Malicious peers are *passive* attackers here, as in the paper's model:
+they respond to probes but originate no pings or queries of their own
+(Section 6.4 describes them purely through their responses).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.core.entry import CacheEntry
+from repro.core.messages import Pong
+from repro.core.params import BadPongBehavior
+from repro.core.peer import GuessPeer
+from repro.network.address import Address
+
+#: Advertised library size: above the honest distribution's upper bound
+#: (50k), so MFS always prefers a poisoned entry to any honest one.
+FAKE_NUM_FILES = 60_000
+
+#: Advertised past-results count carried on fabricated entries; large
+#: enough that pong-trusting MR ranks them first.
+FAKE_NUM_RES = 25
+
+
+class AttackDirectory:
+    """Shared intelligence the attacker coalition draws on.
+
+    The simulation maintains one directory: the list of departed
+    addresses (for ``DEAD`` pongs), the live malicious roster (for
+    ``BAD`` pongs), the live good roster (for ``GOOD`` pongs), and a pool
+    of "ghost" addresses that were never registered — used to fabricate
+    dead targets before any real peer has died.
+    """
+
+    def __init__(self, ghost_addresses: Sequence[Address] = ()) -> None:
+        self.dead_addresses: List[Address] = []
+        self.live_malicious: set[Address] = set()
+        self.live_good: set[Address] = set()
+        self._ghosts: List[Address] = list(ghost_addresses)
+
+    def record_death(self, address: Address) -> None:
+        """A peer departed; its address is now poison material."""
+        self.dead_addresses.append(address)
+        self.live_malicious.discard(address)
+        self.live_good.discard(address)
+
+    def record_birth(self, address: Address, malicious: bool) -> None:
+        """Register a newborn in the appropriate roster."""
+        if malicious:
+            self.live_malicious.add(address)
+        else:
+            self.live_good.add(address)
+
+    def sample_dead(self, rng: random.Random, k: int) -> List[Address]:
+        """Up to ``k`` dead addresses, padded with ghosts when churn is young."""
+        if k <= 0:
+            return []
+        pool = self.dead_addresses
+        picks: List[Address] = []
+        if pool:
+            for _ in range(k):
+                picks.append(pool[rng.randrange(len(pool))])
+        else:
+            ghosts = self._ghosts
+            if ghosts:
+                for _ in range(k):
+                    picks.append(ghosts[rng.randrange(len(ghosts))])
+        return picks
+
+    def sample_malicious(
+        self, rng: random.Random, k: int, exclude: Address
+    ) -> List[Address]:
+        """Up to ``k`` live malicious addresses other than ``exclude``."""
+        if k <= 0:
+            return []
+        pool = [a for a in self.live_malicious if a != exclude]
+        if not pool:
+            return []
+        if k >= len(pool):
+            return list(pool)
+        return rng.sample(pool, k)
+
+    def sample_good(self, rng: random.Random, k: int) -> List[Address]:
+        """Up to ``k`` live good addresses."""
+        if k <= 0 or not self.live_good:
+            return []
+        pool = list(self.live_good)
+        if k >= len(pool):
+            return pool
+        return rng.sample(pool, k)
+
+
+class MaliciousPeer(GuessPeer):
+    """A cache-poisoning peer.
+
+    Same constructor as :class:`GuessPeer` plus the attack wiring; it
+    advertises :data:`FAKE_NUM_FILES` regardless of the (empty) library
+    it actually holds, shares no files, and fabricates every pong.
+
+    Args:
+        behavior: what goes into its pongs (Table 1 ``BadPongBehavior``).
+        directory: the shared :class:`AttackDirectory`.
+        attack_rng: stream for fabrication randomness.
+    """
+
+    malicious = True
+
+    def __init__(
+        self,
+        *args,
+        behavior: BadPongBehavior,
+        directory: AttackDirectory,
+        attack_rng: random.Random,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.behavior = behavior
+        self._directory = directory
+        self._attack_rng = attack_rng
+        # The lie: advertise a huge library no matter what we hold.
+        self.num_files = FAKE_NUM_FILES
+        self.library = frozenset()
+
+    def make_pong(self, pong_policy, time: float) -> Pong:
+        """Fabricate a poisoned pong (ignores the cache and the policy)."""
+        del pong_policy  # malicious peers do not consult real caches
+        k = self.protocol.pong_size
+        rng = self._attack_rng
+        if self.behavior is BadPongBehavior.DEAD:
+            addresses = self._directory.sample_dead(rng, k)
+        elif self.behavior is BadPongBehavior.BAD:
+            addresses = self._directory.sample_malicious(
+                rng, k, exclude=self.address
+            )
+        else:
+            addresses = self._directory.sample_good(rng, k)
+        entries = tuple(
+            CacheEntry(
+                address=address,
+                ts=time,
+                num_files=FAKE_NUM_FILES,
+                num_res=FAKE_NUM_RES,
+            )
+            for address in addresses
+        )
+        return Pong(sender=self.address, entries=entries)
+
+    def _handle_query(self, message, time: float):
+        """Answer with zero results and a poisoned pong (Section 6.4)."""
+        self.queries_received += 1
+        reply = super()._handle_query(message, time)
+        # super() counted a match against our (empty) library: force zero
+        # results explicitly for clarity and future-proofing.
+        if reply.num_results:
+            raise AssertionError("malicious peers must not return results")
+        return reply

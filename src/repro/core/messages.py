@@ -1,0 +1,79 @@
+"""GUESS wire messages.
+
+Four message kinds cover the protocol (paper Section 2):
+
+* :class:`Ping` — link-cache maintenance probe.
+* :class:`Query` — a search probe carrying the target descriptor.
+* :class:`Pong` — the reply to a Ping, and also piggybacked on every
+  query reply; carries copied cache entries for sharing.
+* :class:`QueryReply` — results count plus the piggybacked Pong.
+
+Every probe carries the sender's address and advertised file count so the
+receiver can apply the introduction rule (add the prober to its own cache
+with probability ``IntroProb``) without a separate handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.entry import CacheEntry
+from repro.network.address import Address
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Maintenance probe: "are you alive, and who do you know?"."""
+
+    sender: Address
+    sender_num_files: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """Search probe for ``target_file`` (a content-catalog rank)."""
+
+    sender: Address
+    target_file: int
+    sender_num_files: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    """Cache-entry sharing payload.
+
+    Entries are copies of the responder's link-cache entries (selected by
+    its PingPong or QueryPong policy); receivers must never mutate a
+    pong's entries in place — they import copies.
+    """
+
+    sender: Address
+    entries: Tuple[CacheEntry, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.entries, tuple):
+            object.__setattr__(self, "entries", tuple(self.entries))
+
+
+@dataclass(frozen=True, slots=True)
+class QueryReply:
+    """Reply to a Query probe.
+
+    Attributes:
+        sender: responder address.
+        num_results: results found for the query (0 if none).
+        pong: piggybacked cache-entry sharing (Section 2.3: a probed peer
+            returns a Pong whether or not it found a match).
+    """
+
+    sender: Address
+    num_results: int
+    pong: Pong
+
+
+@dataclass(frozen=True, slots=True)
+class Refusal:
+    """Overload notice: "back off" (paper Section 5.1/6.3)."""
+
+    sender: Address

@@ -1,0 +1,515 @@
+"""The GUESS network simulation (paper Section 5.1).
+
+:class:`GuessSimulation` wires every substrate together and drives the
+lifecycle the paper describes:
+
+* ``NetworkSize`` peers are alive at every instant: when a peer's drawn
+  lifetime expires it silently departs and a fresh peer is born in the
+  same instant, seeded by the *random friend* policy (it copies the link
+  cache of one live peer it knows);
+* at time 0 every link cache is seeded with ``CacheSeedSize ≈
+  NetworkSize/100`` live peers;
+* every peer pings one link-cache entry per ``PingInterval`` (evicting
+  corpses, importing pong entries);
+* good peers issue bursty queries (1-5 per burst, Poisson bursts) and
+  execute them with the serial-probe search loop;
+* a configurable fraction of peers is malicious and poisons pongs.
+
+The simulation holds one shared :class:`PolicySet` (policies are
+stateless), one transport, one attack directory, and one metrics
+collector; the report combines query outcomes, per-peer loads, and
+periodic cache-health samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.malicious import AttackDirectory, MaliciousPeer
+from repro.core.params import (
+    ProtocolParams,
+    SystemParams,
+    default_cache_seed_size,
+)
+from repro.core.peer import GuessPeer
+from repro.core.entry import CacheEntry
+from repro.core.policies import PolicySet
+from repro.core.search import execute_query
+from repro.errors import SimulationError
+from repro.metrics.collectors import (
+    CacheHealthSample,
+    MetricsCollector,
+    SimulationReport,
+)
+from repro.network.address import Address, AddressAllocator
+from repro.network.overlay import OverlaySnapshot
+from repro.network.transport import ProbeStatus, Transport
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.rng import RngRegistry
+from repro.workload.content import ContentModel
+from repro.workload.files import FileCountModel
+from repro.workload.lifetimes import LifetimeModel
+from repro.workload.queries import QueryBurstProcess
+
+#: Unregistered addresses malicious peers can hand out before any real
+#: peer has died (they behave exactly like dead peers: probes time out).
+GHOST_ADDRESS_COUNT = 64
+
+#: Default spacing of cache-health samples (seconds).
+DEFAULT_HEALTH_SAMPLE_INTERVAL = 60.0
+
+
+class GuessSimulation:
+    """A complete, runnable GUESS network.
+
+    Args:
+        system: Table 1 parameters.
+        protocol: Table 2 parameters (``MR*``/``LR*`` normalise
+            automatically).
+        seed: master seed; same seed + params = bit-identical run.
+        warmup: measurement warmup in seconds (metrics before this time
+            are discarded; protocol behaviour is unaffected).
+        content: content model override (defaults calibrate the ~6%
+            unsatisfiable floor at NetworkSize 1000).
+        lifetime_model: lifetime model override (defaults to the
+            synthetic Saroiu-like trace scaled by
+            ``system.lifespan_multiplier``).
+        file_model: shared-file-count model override.
+        keep_queries: retain every individual query result in the report.
+        health_sample_interval: spacing of cache-health samples; ``None``
+            disables sampling (saves time in ping-only sweeps).
+        latency: optional round-trip-time model for delivered probes
+            (see :mod:`repro.network.latency`); defaults to the
+            transport's constant model.  Affects only response-time
+            metrics, never probe counts.
+
+    Example::
+
+        sim = GuessSimulation(SystemParams(), ProtocolParams(), seed=7)
+        sim.run(1800.0)
+        report = sim.report()
+        print(report.probes_per_query, report.unsatisfied_rate)
+    """
+
+    def __init__(
+        self,
+        system: SystemParams,
+        protocol: ProtocolParams,
+        *,
+        seed: int = 0,
+        warmup: float = 0.0,
+        content: Optional[ContentModel] = None,
+        lifetime_model: Optional[LifetimeModel] = None,
+        file_model: Optional[FileCountModel] = None,
+        keep_queries: bool = False,
+        health_sample_interval: Optional[float] = DEFAULT_HEALTH_SAMPLE_INTERVAL,
+        latency=None,
+    ) -> None:
+        self.system = system
+        self.protocol = protocol.normalized()
+        self.engine = Simulator()
+        self.rng = RngRegistry(seed)
+        self.transport = Transport(
+            timeout=self.protocol.probe_spacing, latency=latency
+        )
+        self.collector = MetricsCollector(warmup=warmup, keep_queries=keep_queries)
+        self.content = content or ContentModel()
+        self.lifetimes = lifetime_model or LifetimeModel(
+            multiplier=system.lifespan_multiplier
+        )
+        self.files = file_model or FileCountModel()
+        self.policies = PolicySet.from_protocol(self.protocol)
+        self.bursts = QueryBurstProcess(query_rate=system.query_rate)
+        self.cache_seed_size = min(
+            default_cache_seed_size(system.network_size),
+            self.protocol.cache_size,
+        )
+        self._allocator = AddressAllocator()
+        ghosts = self._allocator.allocate_many(GHOST_ADDRESS_COUNT)
+        self.directory = AttackDirectory(ghost_addresses=ghosts)
+        self._peers: Dict[Address, GuessPeer] = {}
+        self._harvested: set[Address] = set()
+        self._health_interval = health_sample_interval
+        self._reported = False
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    @property
+    def live_peers(self) -> List[GuessPeer]:
+        """All currently live peers."""
+        return list(self._peers.values())
+
+    @property
+    def live_good_peers(self) -> List[GuessPeer]:
+        """Currently live protocol-following peers."""
+        return [p for p in self._peers.values() if not p.malicious]
+
+    def peer(self, address: Address) -> Optional[GuessPeer]:
+        """The live peer at ``address``, or None."""
+        return self._peers.get(address)
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Create the initial population and seed every link cache."""
+        n = self.system.network_size
+        bad_count = round(self.system.bad_peer_fraction * n)
+        roles = [True] * bad_count + [False] * (n - bad_count)
+        self.rng.stream("churn").shuffle(roles)
+        peers = [self._spawn_peer(0.0, malicious=role) for role in roles]
+
+        # Seed each cache with CacheSeedSize random living peers.
+        topology_rng = self.rng.stream("topology")
+        addresses = [p.address for p in peers]
+        for peer in peers:
+            k = min(self.cache_seed_size, n - 1)
+            picked: set[Address] = set()
+            while len(picked) < k:
+                candidate = addresses[topology_rng.randrange(n)]
+                if candidate != peer.address:
+                    picked.add(candidate)
+            for address in picked:
+                target = self._peers[address]
+                entry = CacheEntry(
+                    address=address,
+                    ts=0.0,
+                    num_files=target.num_files,
+                    num_res=0,
+                )
+                peer.link_cache.insert(
+                    entry,
+                    self.policies.replacement,
+                    0.0,
+                    self.rng.stream("policies"),
+                )
+
+        if self._health_interval is not None:
+            self.engine.schedule(
+                self._health_interval,
+                self._sample_health,
+                priority=EventPriority.METRICS,
+                label="health-sample",
+            )
+
+    # ------------------------------------------------------------------
+    # Peer lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_peer(
+        self,
+        now: float,
+        malicious: bool,
+        friend: Optional[GuessPeer] = None,
+        is_rebirth: bool = False,
+    ) -> GuessPeer:
+        """Create, register, and schedule one peer.
+
+        Args:
+            now: birth time.
+            malicious: whether the newborn is an attacker.
+            friend: live peer whose cache the newborn copies (random
+                friend seeding); None for the initial population, which
+                is seeded separately.
+            is_rebirth: True for churn replacements; only these count in
+                the births metric (the bootstrap population is not churn).
+        """
+        address = self._allocator.allocate()
+        num_files = self.files.sample(self.rng.stream("files"))
+        library = (
+            frozenset()
+            if malicious
+            else self.content.build_library(self.rng.stream("content"), num_files)
+        )
+        lifetime = self.lifetimes.sample(self.rng.stream("lifetimes"))
+        common = dict(
+            num_files=num_files,
+            library=library,
+            birth_time=now,
+            death_time=now + lifetime,
+            protocol=self.protocol,
+            policies=self.policies,
+            max_probes_per_second=self.system.max_probes_per_second,
+            policy_rng=self.rng.stream("policies"),
+            intro_rng=self.rng.stream("intro"),
+        )
+        if malicious:
+            peer = MaliciousPeer(
+                address,
+                behavior=self.system.bad_pong_behavior,
+                directory=self.directory,
+                attack_rng=self.rng.stream("malicious"),
+                **common,
+            )
+        else:
+            peer = GuessPeer(address, **common)
+
+        self._peers[address] = peer
+        self.transport.register(address, peer)
+        self.directory.record_birth(address, malicious)
+        if is_rebirth:
+            self.collector.record_birth(now)
+
+        if friend is not None:
+            self._seed_from_friend(peer, friend, now)
+
+        self.engine.schedule(
+            peer.death_time,
+            lambda: self._on_death(peer),
+            priority=EventPriority.DEATH,
+            label="death",
+        )
+        # De-synchronise ping phases so capacity windows see smooth load.
+        phase = self.rng.stream("phases").random() * self.protocol.ping_interval
+        self.engine.schedule(
+            now + phase,
+            lambda: self._ping_cycle(peer),
+            priority=EventPriority.PROTOCOL,
+            label="ping",
+        )
+        if not malicious and self.system.query_rate > 0:
+            delay = self.bursts.next_burst_delay(self.rng.stream("queries"))
+            self.engine.schedule(
+                now + delay,
+                lambda: self._query_burst(peer),
+                priority=EventPriority.QUERY,
+                label="burst",
+            )
+        return peer
+
+    def _seed_from_friend(
+        self, newborn: GuessPeer, friend: GuessPeer, now: float
+    ) -> None:
+        """Random-friend seeding: copy the friend's cache, plus the friend."""
+        policy_rng = self.rng.stream("policies")
+        reset = self.policies.reset_num_results
+        friend_entry = CacheEntry(
+            address=friend.address,
+            ts=now,
+            num_files=friend.num_files,
+            num_res=0,
+        )
+        newborn.link_cache.insert(
+            friend_entry, self.policies.replacement, now, policy_rng
+        )
+        for entry in friend.link_cache.entries():
+            newborn.link_cache.insert(
+                entry.copy_for_import(reset),
+                self.policies.replacement,
+                now,
+                policy_rng,
+            )
+
+    def _on_death(self, peer: GuessPeer) -> None:
+        """Depart silently; a replacement is born in the same instant."""
+        now = self.engine.now
+        address = peer.address
+        if address not in self._peers:  # already handled (defensive)
+            return
+        del self._peers[address]
+        self.transport.unregister(address)
+        self.directory.record_death(address)
+        self.collector.record_death(now)
+        self._harvest(peer)
+
+        # Rebirth keeps the live population at NetworkSize.  The newborn's
+        # role is a coin flip, keeping PercentBadPeers stationary.
+        malicious = (
+            self.rng.stream("churn").random() < self.system.bad_peer_fraction
+        )
+        friend = self._pick_friend()
+        self.engine.schedule(
+            now,
+            lambda: self._spawn_peer(
+                now, malicious=malicious, friend=friend, is_rebirth=True
+            ),
+            priority=EventPriority.BIRTH,
+            label="birth",
+        )
+
+    def _pick_friend(self) -> Optional[GuessPeer]:
+        """One uniformly random live peer (the newborn's "friend")."""
+        if not self._peers:
+            return None
+        addresses = list(self._peers.keys())
+        address = addresses[
+            self.rng.stream("topology").randrange(len(addresses))
+        ]
+        return self._peers[address]
+
+    def _harvest(self, peer: GuessPeer) -> None:
+        """Absorb a peer's lifetime counters exactly once."""
+        if peer.address in self._harvested:
+            return
+        self._harvested.add(peer.address)
+        self.collector.harvest_peer(
+            peer.address, peer.probes_received, peer.probes_refused
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance pings
+    # ------------------------------------------------------------------
+
+    def _ping_cycle(self, peer: GuessPeer) -> None:
+        """Ping one entry, then reschedule (stops when the peer is dead)."""
+        now = self.engine.now
+        if not peer.is_alive(now):
+            return
+        self._do_ping(peer, now)
+        self.engine.schedule_after(
+            self.protocol.ping_interval,
+            lambda: self._ping_cycle(peer),
+            priority=EventPriority.PROTOCOL,
+            label="ping",
+        )
+
+    def _do_ping(self, peer: GuessPeer, now: float) -> None:
+        """One maintenance ping per Section 2.2."""
+        entry = peer.choose_ping_target(now)
+        if entry is None:
+            return
+        outcome = self.transport.probe(
+            peer.address, entry.address, peer.ping_message(), now
+        )
+        if outcome.status is ProbeStatus.TIMEOUT:
+            peer.link_cache.evict(entry.address)
+            self.collector.record_ping(dead=True, time=now)
+            return
+        if outcome.status is ProbeStatus.REFUSED:
+            if not self.protocol.do_backoff:
+                peer.link_cache.evict(entry.address)
+            self.collector.record_ping(dead=False, time=now)
+            return
+        peer.link_cache.touch(entry.address, now)
+        peer.import_pong_to_link_cache(outcome.response, now)
+        self.collector.record_ping(dead=False, time=now)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _query_burst(self, peer: GuessPeer) -> None:
+        """Execute one burst of queries, then schedule the next burst."""
+        now = self.engine.now
+        if not peer.is_alive(now):
+            return
+        queries_rng = self.rng.stream("queries")
+        size = self.bursts.burst_size(queries_rng)
+        cursor = now
+        for _ in range(size):
+            target = self.content.draw_query_target(queries_rng)
+            result = execute_query(
+                peer,
+                target,
+                self.transport,
+                cursor,
+                rng=self.rng.stream("policies"),
+                desired_results=self.system.num_desired_results,
+            )
+            self.collector.record_query(result, cursor)
+            cursor += result.duration
+        delay = self.bursts.next_burst_delay(queries_rng)
+        if delay != float("inf"):
+            self.engine.schedule_after(
+                delay,
+                lambda: self._query_burst(peer),
+                priority=EventPriority.QUERY,
+                label="burst",
+            )
+
+    # ------------------------------------------------------------------
+    # Health sampling
+    # ------------------------------------------------------------------
+
+    def _sample_health(self) -> None:
+        """Average link-cache health over live good peers, then reschedule."""
+        now = self.engine.now
+        live = self._peers
+        bad = self.directory.live_malicious
+        fractions: List[float] = []
+        absolutes: List[float] = []
+        goods: List[float] = []
+        fills: List[float] = []
+        for peer in live.values():
+            if peer.malicious:
+                continue
+            entries = peer.link_cache.entries()
+            if not entries:
+                fills.append(0.0)
+                absolutes.append(0.0)
+                goods.append(0.0)
+                continue
+            live_count = 0
+            good_count = 0
+            for entry in entries:
+                if entry.address in live:
+                    live_count += 1
+                    if entry.address not in bad:
+                        good_count += 1
+            fills.append(float(len(entries)))
+            fractions.append(live_count / len(entries))
+            absolutes.append(float(live_count))
+            goods.append(float(good_count))
+        sample = CacheHealthSample(
+            time=now,
+            fraction_live=sum(fractions) / len(fractions) if fractions else 0.0,
+            absolute_live=sum(absolutes) / len(absolutes) if absolutes else 0.0,
+            good_entries=sum(goods) / len(goods) if goods else 0.0,
+            cache_fill=sum(fills) / len(fills) if fills else 0.0,
+        )
+        self.collector.record_health_sample(sample)
+        if self._health_interval is not None:
+            self.engine.schedule_after(
+                self._health_interval,
+                self._sample_health,
+                priority=EventPriority.METRICS,
+                label="health-sample",
+            )
+
+    # ------------------------------------------------------------------
+    # Driving and reporting
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        if duration < 0:
+            raise SimulationError(f"duration must be >= 0, got {duration}")
+        self.engine.run_until(self.engine.now + duration)
+
+    def report(self) -> SimulationReport:
+        """Freeze and return the run's metrics.
+
+        Harvests the lifetime counters of still-live peers; callable once
+        per simulation (a second call would double-harvest).
+        """
+        if self._reported:
+            raise SimulationError("report() may only be called once per run")
+        self._reported = True
+        for peer in self._peers.values():
+            self._harvest(peer)
+        return self.collector.build_report()
+
+    def snapshot_overlay(self) -> OverlaySnapshot:
+        """The conceptual overlay among currently live peers."""
+        live = set(self._peers.keys())
+        contents = {
+            address: list(peer.link_cache.addresses())
+            for address, peer in self._peers.items()
+        }
+        return OverlaySnapshot.from_caches(live, contents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GuessSimulation(n={self.system.network_size}, "
+            f"t={self.engine.now:.0f}s, live={len(self._peers)})"
+        )

@@ -1,0 +1,236 @@
+"""A well-behaved GUESS peer.
+
+:class:`GuessPeer` implements the receiving side of the protocol — it is
+the :class:`~repro.network.transport.Endpoint` registered with the
+transport — plus the cache-ingestion helpers the initiating side (ping
+cycle and query loop, driven by :mod:`repro.core.network_sim` and
+:mod:`repro.core.search`) shares with it:
+
+* answer Pings with Pongs built by the PingPong policy;
+* answer Queries with a result count (does my library hold the target?)
+  and a piggybacked Pong built by the QueryPong policy;
+* refuse probes beyond ``MaxProbesPerSecond`` (Section 6.3);
+* apply the introduction rule: cache the prober with probability
+  ``IntroProb`` (Section 2.2);
+* import pong entries through the CacheReplacement policy, honouring the
+  MR* ``reset_num_results`` ingestion rule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.entry import CacheEntry
+from repro.core.link_cache import LinkCache
+from repro.core.messages import Ping, Pong, Query, QueryReply, Refusal
+from repro.core.params import ProtocolParams
+from repro.core.policies import PolicySet
+from repro.network.address import Address
+from repro.sim.windows import BucketedRateLimiter
+from repro.workload.content import ContentModel
+
+
+class GuessPeer:
+    """One good (protocol-following) peer.
+
+    Args:
+        address: this peer's address.
+        num_files: advertised shared-file count (drives MFS at *other*
+            peers; honest peers advertise their true library size).
+        library: set of owned file ranks.
+        birth_time: when the peer joined.
+        death_time: when it will silently leave.
+        protocol: normalised protocol parameters.
+        policies: the shared, instantiated policy set.
+        max_probes_per_second: capacity limit (None = unlimited).
+        policy_rng: stream used for policy randomness (Random policy,
+            eviction contests).
+        intro_rng: stream used for introduction coin flips.
+    """
+
+    #: Class-level flag distinguishing good peers from malicious ones in
+    #: metrics without isinstance checks on the hot path.
+    malicious: bool = False
+
+    def __init__(
+        self,
+        address: Address,
+        *,
+        num_files: int,
+        library: FrozenSet[int],
+        birth_time: float,
+        death_time: float,
+        protocol: ProtocolParams,
+        policies: PolicySet,
+        max_probes_per_second: int | None,
+        policy_rng: random.Random,
+        intro_rng: random.Random,
+    ) -> None:
+        if death_time <= birth_time:
+            raise ValueError(
+                f"death_time {death_time} must exceed birth_time {birth_time}"
+            )
+        self.address = address
+        self.num_files = int(num_files)
+        self.library = library
+        self.birth_time = float(birth_time)
+        self.death_time = float(death_time)
+        self.protocol = protocol
+        self.policies = policies
+        self.link_cache = LinkCache(protocol.cache_size, owner=address)
+        self._limiter = (
+            BucketedRateLimiter(window=1.0, limit=max_probes_per_second)
+            if max_probes_per_second is not None
+            else None
+        )
+        self._policy_rng = policy_rng
+        self._intro_rng = intro_rng
+        # Optional defense hooks (repro.extensions.detection).  When set,
+        # entry imports report provenance and blacklisted sources/targets
+        # are dropped; None keeps the plain-paper behaviour.
+        self.defense = None
+        # Lifetime counters harvested by the metrics collector.
+        self.probes_received = 0
+        self.probes_refused = 0
+        self.pings_received = 0
+        self.queries_received = 0
+        self.results_served = 0
+
+    # ------------------------------------------------------------------
+    # Liveness (Endpoint protocol)
+    # ------------------------------------------------------------------
+
+    def is_alive(self, time: float) -> bool:
+        """Alive on [birth_time, death_time)."""
+        return self.birth_time <= time < self.death_time
+
+    # ------------------------------------------------------------------
+    # Receiving probes (Endpoint protocol)
+    # ------------------------------------------------------------------
+
+    def receive_probe(self, message, time: float) -> Tuple[bool, object]:
+        """Handle an incoming Ping or Query probe.
+
+        Returns:
+            ``(accepted, response)`` per the transport's Endpoint
+            contract; a refusal carries a :class:`Refusal` notice.
+        """
+        self.probes_received += 1
+        if self._limiter is not None and not self._limiter.try_record(time):
+            self.probes_refused += 1
+            return False, Refusal(self.address)
+        if isinstance(message, Ping):
+            return True, self._handle_ping(message, time)
+        if isinstance(message, Query):
+            return True, self._handle_query(message, time)
+        raise TypeError(f"unsupported probe message: {message!r}")
+
+    def _handle_ping(self, message: Ping, time: float) -> Pong:
+        self.pings_received += 1
+        pong = self.make_pong(self.policies.ping_pong, time)
+        self._maybe_introduce(message.sender, message.sender_num_files, time)
+        return pong
+
+    def _handle_query(self, message: Query, time: float) -> QueryReply:
+        self.queries_received += 1
+        num_results = (
+            1 if ContentModel.matches(self.library, message.target_file) else 0
+        )
+        self.results_served += num_results
+        pong = self.make_pong(self.policies.query_pong, time)
+        self._maybe_introduce(message.sender, message.sender_num_files, time)
+        return QueryReply(sender=self.address, num_results=num_results, pong=pong)
+
+    # ------------------------------------------------------------------
+    # Pong construction and the introduction rule
+    # ------------------------------------------------------------------
+
+    def make_pong(self, pong_policy, time: float) -> Pong:
+        """Build a Pong of up to ``PongSize`` *copied* link-cache entries."""
+        selected = pong_policy.select_top(
+            self.link_cache.entries(),
+            self.protocol.pong_size,
+            time,
+            self._policy_rng,
+        )
+        return Pong(
+            sender=self.address,
+            entries=tuple(entry.copy() for entry in selected),
+        )
+
+    def _maybe_introduce(
+        self, prober: Address, prober_num_files: int, time: float
+    ) -> None:
+        """Cache the prober with probability ``IntroProb`` (Section 2.2)."""
+        if self.protocol.intro_prob <= 0.0:
+            return
+        if prober == self.address or prober in self.link_cache:
+            return
+        if self._intro_rng.random() >= self.protocol.intro_prob:
+            return
+        entry = CacheEntry(
+            address=prober, ts=time, num_files=prober_num_files, num_res=0
+        )
+        self.link_cache.insert(
+            entry, self.policies.replacement, time, self._policy_rng
+        )
+
+    # ------------------------------------------------------------------
+    # Initiator-side helpers (used by the ping cycle and query loop)
+    # ------------------------------------------------------------------
+
+    def import_pong_to_link_cache(self, pong: Pong, now: float) -> int:
+        """Ingest a pong's entries into the link cache.
+
+        Applies the MR* ``reset_num_results`` rule and the replacement
+        policy; when defense hooks are installed, records provenance and
+        drops entries from (or pointing at) blacklisted peers.  Returns
+        the number of entries actually inserted.
+        """
+        defense = self.defense
+        if defense is not None and defense.blocked(pong.sender):
+            return 0
+        inserted = 0
+        reset = self.policies.reset_num_results
+        for entry in pong.entries:
+            if defense is not None:
+                if defense.blocked(entry.address):
+                    continue
+                defense.record_import(entry.address, pong.sender)
+            candidate = entry.copy_for_import(reset)
+            if self.link_cache.insert(
+                candidate, self.policies.replacement, now, self._policy_rng
+            ):
+                inserted += 1
+        return inserted
+
+    def offer_entry_to_link_cache(self, entry: CacheEntry, now: float) -> bool:
+        """Offer one (already-imported) entry to the link cache."""
+        return self.link_cache.insert(
+            entry, self.policies.replacement, now, self._policy_rng
+        )
+
+    def choose_ping_target(self, now: float) -> Optional[CacheEntry]:
+        """The entry the PingProbe policy says to ping next."""
+        return self.policies.ping_probe.select_best(
+            self.link_cache.entries(), now, self._policy_rng
+        )
+
+    def ping_message(self) -> Ping:
+        """The Ping this peer sends when maintaining its cache."""
+        return Ping(sender=self.address, sender_num_files=self.num_files)
+
+    def query_message(self, target_file: int) -> Query:
+        """The Query probe for ``target_file``."""
+        return Query(
+            sender=self.address,
+            target_file=target_file,
+            sender_num_files=self.num_files,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(address={self.address}, "
+            f"files={self.num_files}, cache={len(self.link_cache)})"
+        )

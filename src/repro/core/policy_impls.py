@@ -1,0 +1,133 @@
+"""Concrete policies (paper Section 4).
+
+========  ==========================================================
+Random    baseline; uniformly random choices, fairest load spread
+MRU       prefer most recent TS — entries most likely still alive
+LRU       prefer oldest TS — fairness by spreading load, risks dead
+MFS       prefer most advertised files — likeliest to hold answers
+MR        prefer most results returned to *my* last query — personal
+          usefulness, harder to game than MFS
+MR*       MR ranking over first-hand NumRes only (the ingestion-time
+          reset lives in ``ProtocolParams.reset_num_results``)
+========  ==========================================================
+
+Eviction counterparts (LFS, LR, and the swapped LRU/MRU) reuse these key
+functions through :data:`repro.core.policies.REPLACEMENT_KEY_POLICY`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.entry import CacheEntry
+from repro.core.policies import Policy, register_policy
+
+
+@register_policy
+class RandomPolicy(Policy):
+    """Uniformly random selection; the paper's baseline for every role."""
+
+    name = "Random"
+    randomized = True
+
+    def key(self, entry: CacheEntry, now: float) -> float:
+        # A constant key makes the generic paths degenerate; the overrides
+        # below supply the actual randomness.
+        return 0.0
+
+    def select_best(
+        self,
+        entries: Sequence[CacheEntry],
+        now: float,
+        rng: random.Random,
+    ) -> Optional[CacheEntry]:
+        if not entries:
+            return None
+        return entries[rng.randrange(len(entries))]
+
+    def order(
+        self,
+        entries,
+        now: float,
+        rng: random.Random,
+    ) -> List[CacheEntry]:
+        ordered = list(entries)
+        rng.shuffle(ordered)
+        return ordered
+
+    def select_top(
+        self,
+        entries: Sequence[CacheEntry],
+        k: int,
+        now: float,
+        rng: random.Random,
+    ) -> List[CacheEntry]:
+        if k <= 0 or not entries:
+            return []
+        if k >= len(entries):
+            ordered = list(entries)
+            rng.shuffle(ordered)
+            return ordered
+        return rng.sample(list(entries), k)
+
+    def choose_victim(
+        self,
+        entries: Sequence[CacheEntry],
+        now: float,
+        rng: random.Random,
+    ) -> Optional[CacheEntry]:
+        if not entries:
+            return None
+        return entries[rng.randrange(len(entries))]
+
+
+@register_policy
+class MostRecentlyUsedPolicy(Policy):
+    """Prefer the freshest TS: least likely to be dead, least wasted work."""
+
+    name = "MRU"
+
+    def key(self, entry: CacheEntry, now: float) -> float:
+        return entry.ts
+
+
+@register_policy
+class LeastRecentlyUsedPolicy(Policy):
+    """Prefer the stalest TS: spreads load fairly, risks dead probes."""
+
+    name = "LRU"
+
+    def key(self, entry: CacheEntry, now: float) -> float:
+        return -entry.ts
+
+
+@register_policy
+class MostFilesSharedPolicy(Policy):
+    """Prefer peers advertising the largest libraries.
+
+    The global measure makes it both the most efficient honest-network
+    policy (Figures 10/11) and the least robust to lying peers
+    (Figures 16-21): NumFiles is whatever the pong claimed.
+    """
+
+    name = "MFS"
+
+    def key(self, entry: CacheEntry, now: float) -> float:
+        return float(entry.num_files)
+
+
+@register_policy
+class MostResultsPolicy(Policy):
+    """Prefer peers that answered (my) queries before.
+
+    NumRes captures *personal* usefulness and is refreshed on every direct
+    probe, which is what makes MR self-correcting against non-colluding
+    poisoners (a malicious peer returns no results, so one probe zeroes
+    its rank).
+    """
+
+    name = "MR"
+
+    def key(self, entry: CacheEntry, now: float) -> float:
+        return float(entry.num_res)

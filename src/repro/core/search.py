@@ -1,0 +1,244 @@
+"""Query execution (paper Sections 2.3, 3.1, 6.2).
+
+The querying peer iterates over candidate targets — link-cache entries
+first-class, query-cache entries as pongs arrive — ordered by the
+QueryProbe policy, probing one at a time until ``NumDesiredResults``
+results are in hand or no unprobed candidate remains.
+
+Timing: the GUESS spec serialises probes with a 0.2 s spacing, so probe
+*i* of a query issued at ``t0`` carries virtual timestamp
+``t0 + (i // k) * spacing`` where ``k`` is the number of parallel walkers
+(k = 1 is the spec's strictly serial mode).  Those timestamps drive both
+liveness (a peer that died mid-query stops answering) and the target-side
+per-second capacity windows.
+
+Outcome accounting matches the paper's metrics: **good** probes reach a
+live peer, **dead** probes time out ("DeadIPs" / wasted probes), and
+**refused** probes hit an overloaded peer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.entry import CacheEntry
+from repro.core.messages import QueryReply
+from repro.core.peer import GuessPeer
+from repro.core.policies import Policy
+from repro.core.query_cache import QueryCache
+from repro.network.transport import ProbeStatus, Transport
+
+
+class CandidatePool:
+    """Best-first pool of probe candidates under a QueryProbe policy.
+
+    For key-based policies the pool is a max-heap on
+    ``(key, -address)`` — keys are fixed at admission, which is exact for
+    every policy in the paper (an entry's rank only changes when it is
+    probed, at which point it has already left the pool).  For the Random
+    policy the pool is an array with O(1) swap-remove random pops.
+    """
+
+    __slots__ = ("_policy", "_rng", "_now", "_heap", "_bag")
+
+    def __init__(self, policy: Policy, rng: random.Random, now: float) -> None:
+        self._policy = policy
+        self._rng = rng
+        self._now = now
+        self._heap: List[Tuple[float, int, CacheEntry]] = []
+        self._bag: List[CacheEntry] = []
+
+    def add(self, entry: CacheEntry) -> None:
+        """Admit one candidate (caller guarantees address-uniqueness)."""
+        if self._policy.randomized:
+            self._bag.append(entry)
+        else:
+            key = self._policy.key(entry, self._now)
+            heapq.heappush(self._heap, (-key, entry.address, entry))
+
+    def pop(self) -> Optional[CacheEntry]:
+        """Remove and return the most-preferred candidate, or None."""
+        if self._policy.randomized:
+            bag = self._bag
+            if not bag:
+                return None
+            index = self._rng.randrange(len(bag))
+            bag[index], bag[-1] = bag[-1], bag[index]
+            return bag.pop()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._bag) if self._policy.randomized else len(self._heap)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Everything the metrics layer wants to know about one query.
+
+    Attributes:
+        satisfied: whether ``NumDesiredResults`` results were obtained.
+        results: results actually obtained.
+        probes: total probes issued (= good + dead + refused).
+        good_probes: probes answered by live peers.
+        dead_probes: probes that timed out (the paper's "DeadIPs").
+        refused_probes: probes refused by overloaded peers.
+        duration: seconds of virtual time the query occupied.
+        response_time: seconds from issue to the satisfying reply
+            (``None`` for unsatisfied queries).
+        pool_exhausted: True if the query ended by running out of
+            candidates rather than by satisfaction.
+    """
+
+    satisfied: bool
+    results: int
+    probes: int
+    good_probes: int
+    dead_probes: int
+    refused_probes: int
+    duration: float
+    response_time: Optional[float]
+    pool_exhausted: bool
+
+
+def execute_query(
+    peer: GuessPeer,
+    target_file: int,
+    transport: Transport,
+    now: float,
+    *,
+    rng: random.Random,
+    desired_results: int = 1,
+    max_probes: Optional[int] = None,
+) -> QueryResult:
+    """Run one GUESS query from ``peer`` for ``target_file``.
+
+    Args:
+        peer: the querying peer (its link cache is read and updated).
+        target_file: content-catalog rank being searched for.
+        transport: the probe transport.
+        now: query issue time.
+        rng: policy randomness stream.
+        desired_results: the ``NumDesiredResults`` stopping threshold.
+        max_probes: optional hard cap on probes (used by extent ablations;
+            the protocol itself probes to exhaustion).
+
+    Returns:
+        A :class:`QueryResult`.
+    """
+    protocol = peer.protocol
+    policies = peer.policies
+    spacing = protocol.probe_spacing
+    walkers = protocol.parallel_probes
+
+    pool = CandidatePool(policies.query_probe, rng, now)
+    link_entries = peer.link_cache.entries()
+    for entry in link_entries:
+        pool.add(entry)
+    query_cache = QueryCache(
+        owner=peer.address,
+        excluded={entry.address for entry in link_entries},
+    )
+
+    message = peer.query_message(target_file)
+    results = 0
+    good = dead = refused = 0
+    probes = 0
+    waves = 0
+    response_time: Optional[float] = None
+
+    # Probes go out in waves of ``walkers`` (k = 1 is the spec's strictly
+    # serial mode).  Every probe of a wave is in flight together, so a
+    # wave is always fully charged even if its first reply satisfies the
+    # query — this is exactly why the paper bounds the overhead of
+    # k-parallel probing at k-1 extra probes.
+    while results < desired_results:
+        wave: list[CacheEntry] = []
+        while len(wave) < walkers:
+            if max_probes is not None and probes + len(wave) >= max_probes:
+                break
+            entry = pool.pop()
+            if entry is None:
+                break
+            wave.append(entry)
+        if not wave:
+            break
+        wave_time = now + waves * spacing
+        waves += 1
+        defense = peer.defense
+        for entry in wave:
+            address = entry.address
+            query_cache.mark_seen(address)
+            if defense is not None and defense.blocked(address):
+                peer.link_cache.evict(address)
+                continue
+            outcome = transport.probe(peer.address, address, message, wave_time)
+            probes += 1
+
+            if outcome.status is ProbeStatus.TIMEOUT:
+                dead += 1
+                # Discovered-dead entries leave the link cache immediately.
+                peer.link_cache.evict(address)
+                if defense is not None:
+                    defense.record_dead(address)
+                continue
+
+            if outcome.status is ProbeStatus.REFUSED:
+                refused += 1
+                if not protocol.do_backoff:
+                    # The paper's inherent throttling: treat the refusal
+                    # like a death so the entry stops circulating in pongs.
+                    peer.link_cache.evict(address)
+                continue
+
+            good += 1
+            reply = outcome.response
+            if not isinstance(reply, QueryReply):
+                raise TypeError(f"query probe returned {reply!r}")
+
+            # Reset NumRes from this response (Section 2.1); refresh TS.
+            entry.record_results(reply.num_results, wave_time)
+            peer.link_cache.record_results(address, reply.num_results, wave_time)
+            if reply.num_results > 0 and address not in peer.link_cache:
+                # A productive query-cache entry qualifies for the link
+                # cache ("qualifying entries may be inserted", §2.3).
+                peer.offer_entry_to_link_cache(entry, wave_time)
+
+            results += reply.num_results
+            if results >= desired_results and response_time is None:
+                response_time = (waves - 1) * spacing + outcome.rtt
+
+            if defense is not None:
+                defense.record_answer(address, reply.num_results)
+
+            # Ingest the piggybacked pong: query cache feeds the pool,
+            # and every shared entry is offered to the link cache too.
+            reset = policies.reset_num_results
+            for shared in reply.pong.entries:
+                if defense is not None:
+                    if defense.blocked(shared.address):
+                        continue
+                    defense.record_import(shared.address, reply.pong.sender)
+                imported = shared.copy_for_import(reset)
+                if query_cache.add(imported):
+                    pool.add(imported)
+                    peer.offer_entry_to_link_cache(imported, wave_time)
+
+    satisfied = results >= desired_results
+    duration = waves * spacing
+    query_cache.clear()
+    return QueryResult(
+        satisfied=satisfied,
+        results=results,
+        probes=probes,
+        good_probes=good,
+        dead_probes=dead,
+        refused_probes=refused,
+        duration=duration,
+        response_time=response_time if satisfied else None,
+        pool_exhausted=not satisfied and pool.pop() is None,
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller embedding the simulator can catch one base class.  Subclasses are
+deliberately fine-grained: configuration mistakes (:class:`ConfigError`),
+misuse of the event engine (:class:`SimulationError`), and policy-framework
+lookups (:class:`PolicyError`) fail in different phases of a run and callers
+often want to handle them differently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A system or protocol parameter is out of its valid domain.
+
+    Raised eagerly at construction time (``SystemParams`` /
+    ``ProtocolParams`` validation) so that a bad sweep fails before any
+    simulation time is spent.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that has
+    already been exhausted, or re-entrant calls to ``run``.
+    """
+
+
+class PolicyError(ReproError, KeyError):
+    """An unknown policy name was requested from the policy registry."""
+
+
+class TopologyError(ReproError, RuntimeError):
+    """An overlay/graph operation was applied to an invalid structure."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload model was configured with impossible parameters."""

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment follows the same contract: ``run_<id>(profile)`` takes a
+:class:`~repro.experiments.profiles.Profile` (scale knobs: durations,
+network sizes, trial counts) and returns one or more
+:class:`~repro.experiments.runner.ExperimentResult` records that render
+to the table/series the paper reports.
+
+========================  ==========================================
+``cache_size``            Table 3, Figures 3, 4, 5
+``ping_interval``         Figures 6, 7
+``flexible_extent``       Figure 8
+``policy_comparison``     Figures 9, 10, 11, 12
+``fairness``              Figure 13
+``capacity``              Figures 14, 15
+``malicious``             Figures 16-18 (Dead), 19-21 (colluding)
+========================  ==========================================
+
+Run everything via ``python -m repro.experiments.run_all --profile quick``.
+"""
+
+from repro.experiments.profiles import PROFILES, Profile
+from repro.experiments.runner import ExperimentResult, run_guess_config
+
+__all__ = ["PROFILES", "Profile", "ExperimentResult", "run_guess_config"]

@@ -1,0 +1,149 @@
+"""Cache-poisoning robustness: Figures 16-18 and 19-21 (paper §6.4).
+
+Malicious peers return corrupt Pongs; the experiments sweep the attacker
+fraction for four policy stacks (Random, MR, MR*, MFS — each applied to
+QueryProbe/QueryPong/CacheReplacement simultaneously, as in the paper).
+
+Non-colluding attack (``BadPongBehavior = Dead``, Figures 16-18):
+    MFS collapses (poisoned entries advertise huge NumFiles and are
+    trusted); Random, MR and MR* stay robust — MR self-corrects because
+    one probe zeroes a liar's NumRes.
+
+Colluding attack (``BadPongBehavior = Bad``, Figures 19-21):
+    MR collapses too: each probe of a malicious peer imports PongSize
+    fresh malicious entries, faster than eviction removes them.  Only
+    Random and MR* (which ignores hearsay NumRes) remain robust, with
+    MR* beating Random on efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.experiments.profiles import Profile
+from repro.experiments.runner import (
+    ExperimentResult,
+    averaged,
+    run_guess_config,
+)
+
+#: Policy stacks compared in Figures 16-21.
+POLICIES: Tuple[str, ...] = ("Random", "MR", "MR*", "MFS")
+
+#: Attacker percentages swept on the x-axis.
+BAD_PERCENTS: Tuple[float, ...] = (0.0, 5.0, 10.0, 15.0, 20.0)
+
+
+def sweep_malicious(
+    profile: Profile,
+    behavior: BadPongBehavior,
+    bad_percents: Sequence[float] = BAD_PERCENTS,
+    policies: Sequence[str] = POLICIES,
+    cache_size: int | None = None,
+) -> Dict[Tuple[str, float], Dict[str, float]]:
+    """(policy × PercentBadPeers) grid for one BadPongBehavior.
+
+    Args:
+        cache_size: CacheSize override.  The colluding-MR collapse needs
+            the attacker population to exceed the cache capacity (entries
+            dedup by address, so N_bad <= CacheSize caps the poisoning);
+            reduced-scale harnesses shrink the cache accordingly.  None
+            keeps the Table 2 default (100), correct at the paper's
+            NetworkSize 1000.
+    """
+    results: Dict[Tuple[str, float], Dict[str, float]] = {}
+    overrides = {} if cache_size is None else {"cache_size": cache_size}
+    for p_index, policy in enumerate(policies):
+        protocol = ProtocolParams.all_same_policy(policy, **overrides)
+        for b_index, bad in enumerate(bad_percents):
+            system = SystemParams(
+                network_size=profile.reference_size,
+                percent_bad_peers=bad,
+                bad_pong_behavior=behavior,
+            )
+            reports = run_guess_config(
+                system,
+                protocol,
+                duration=profile.duration,
+                warmup=profile.warmup,
+                trials=profile.trials,
+                base_seed=0xBAD + p_index * 101 + b_index,
+            )
+            results[(policy, bad)] = {
+                "probes": averaged(reports, "probes_per_query"),
+                "unsat": averaged(reports, "unsatisfied_rate"),
+                "good_entries": averaged(reports, "mean_good_entries"),
+            }
+    return results
+
+
+def _series(
+    sweep: Dict[Tuple[str, float], Dict[str, float]], metric: str
+) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for (policy, bad), cell in sorted(
+        sweep.items(), key=lambda kv: (kv[0][0], kv[0][1])
+    ):
+        series.setdefault(policy, []).append((bad, cell[metric]))
+    return series
+
+
+def _three_figures(
+    sweep: Dict[Tuple[str, float], Dict[str, float]],
+    ids: Tuple[str, str, str],
+    collusion: bool,
+) -> List[ExperimentResult]:
+    mode = "colluding (Bad pongs)" if collusion else "non-colluding (Dead pongs)"
+    vulnerable = "MR and MFS" if collusion else "MFS only"
+    probes_id, unsat_id, entries_id = ids
+    return [
+        ExperimentResult(
+            experiment_id=probes_id,
+            title=f"Average probes per query vs PercentBadPeers — {mode}",
+            series=_series(sweep, "probes"),
+            x_label="PercentBadPeers",
+            notes=f"cost rises with attacker share; worst for {vulnerable}",
+        ),
+        ExperimentResult(
+            experiment_id=unsat_id,
+            title=f"Unsatisfied queries vs PercentBadPeers — {mode}",
+            series=_series(sweep, "unsat"),
+            x_label="PercentBadPeers",
+            notes=(
+                f"{vulnerable} collapse toward ~100% unsatisfied by 20% "
+                "attackers; Random and MR* stay near the no-attack level"
+            ),
+        ),
+        ExperimentResult(
+            experiment_id=entries_id,
+            title=(
+                "Average good (live, non-malicious) link-cache entries vs "
+                f"PercentBadPeers — {mode}"
+            ),
+            series=_series(sweep, "good_entries"),
+            x_label="PercentBadPeers",
+            notes=f"good-entry counts collapse for {vulnerable}",
+        ),
+    ]
+
+
+def run_fig16_18(
+    profile: Profile, cache_size: int | None = None
+) -> List[ExperimentResult]:
+    """Figures 16, 17, 18: the non-colluding (Dead-pong) attack."""
+    sweep = sweep_malicious(profile, BadPongBehavior.DEAD, cache_size=cache_size)
+    return _three_figures(sweep, ("fig16", "fig17", "fig18"), collusion=False)
+
+
+def run_fig19_21(
+    profile: Profile, cache_size: int | None = None
+) -> List[ExperimentResult]:
+    """Figures 19, 20, 21: the colluding (Bad-pong) attack."""
+    sweep = sweep_malicious(profile, BadPongBehavior.BAD, cache_size=cache_size)
+    return _three_figures(sweep, ("fig19", "fig20", "fig21"), collusion=True)
+
+
+def run_suite(profile: Profile) -> List[ExperimentResult]:
+    """Figures 16-21."""
+    return run_fig16_18(profile) + run_fig19_21(profile)

@@ -1,0 +1,149 @@
+"""Scale profiles for the experiment harness.
+
+The paper's sweeps are expensive (minutes per configuration at
+NetworkSize 5000), so every experiment takes a profile:
+
+* ``smoke`` — seconds per experiment; exercises every code path (used by
+  the test suite and as the pytest-benchmark payload).
+* ``quick`` — minutes for the full suite; large enough that every
+  qualitative paper result is visible.
+* ``full`` — the paper's scales (up to NetworkSize 5000); for an
+  unattended run.
+
+Profiles only change *scale* (durations, sizes, trials); parameters that
+define an experiment (policies, multipliers, attacker mix) are fixed by
+the experiment modules to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scale knobs shared by all experiments.
+
+    Attributes:
+        name: registry key.
+        duration: measured simulation seconds per run (after warmup).
+        warmup: seconds before metrics collection starts.
+        trials: seeded repetitions averaged per configuration.
+        network_sizes: the sweep of NetworkSize values (largest last).
+        reference_size: the single-network-size experiments' N
+            (the paper's default is 1000).
+        cache_sizes: CacheSize sweep for Table 3 / Figures 3-6.
+        ping_intervals: PingInterval sweep for Figures 6-7.
+        baseline_queries: query draws for the analytic Figure 8 curves.
+        max_extent: largest fixed extent swept in Figure 8.
+    """
+
+    name: str
+    duration: float
+    warmup: float
+    trials: int
+    network_sizes: Tuple[int, ...]
+    reference_size: int
+    cache_sizes: Tuple[int, ...]
+    ping_intervals: Tuple[float, ...]
+    baseline_queries: int
+    max_extent: int
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be > 0, got {self.duration}")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if self.trials < 1:
+            raise ConfigError(f"trials must be >= 1, got {self.trials}")
+        if not self.network_sizes:
+            raise ConfigError("network_sizes must be non-empty")
+        if self.reference_size < 2:
+            raise ConfigError(
+                f"reference_size must be >= 2, got {self.reference_size}"
+            )
+        if not self.cache_sizes or not self.ping_intervals:
+            raise ConfigError("cache_sizes and ping_intervals must be non-empty")
+        if self.baseline_queries < 1:
+            raise ConfigError(
+                f"baseline_queries must be >= 1, got {self.baseline_queries}"
+            )
+        if self.max_extent < 1:
+            raise ConfigError(f"max_extent must be >= 1, got {self.max_extent}")
+
+    @property
+    def total_time(self) -> float:
+        """Simulated seconds per run including warmup."""
+        return self.duration + self.warmup
+
+
+PROFILES: Dict[str, Profile] = {
+    "smoke": Profile(
+        name="smoke",
+        duration=240.0,
+        warmup=60.0,
+        trials=1,
+        network_sizes=(100, 200),
+        reference_size=200,
+        cache_sizes=(5, 10, 20, 50, 100),
+        ping_intervals=(10.0, 30.0, 120.0, 480.0),
+        baseline_queries=200,
+        max_extent=200,
+    ),
+    "quick": Profile(
+        name="quick",
+        duration=900.0,
+        warmup=300.0,
+        trials=1,
+        network_sizes=(200, 500, 1000),
+        reference_size=1000,
+        cache_sizes=(5, 10, 20, 50, 100, 200, 500),
+        ping_intervals=(10.0, 30.0, 60.0, 120.0, 240.0, 480.0),
+        baseline_queries=1000,
+        max_extent=1000,
+    ),
+    # The profile used to produce EXPERIMENTS.md on a single-core box:
+    # every qualitative shape at a reference size of 500 peers, with the
+    # multi-size sweeps still reaching 1000.
+    "report": Profile(
+        name="report",
+        duration=900.0,
+        warmup=300.0,
+        trials=1,
+        network_sizes=(200, 500, 1000),
+        reference_size=500,
+        cache_sizes=(5, 10, 20, 50, 100, 200, 500),
+        ping_intervals=(10.0, 30.0, 60.0, 120.0, 300.0, 600.0),
+        baseline_queries=1500,
+        max_extent=500,
+    ),
+    "full": Profile(
+        name="full",
+        duration=1800.0,
+        warmup=600.0,
+        trials=2,
+        network_sizes=(200, 500, 1000, 2000, 5000),
+        reference_size=1000,
+        cache_sizes=(5, 10, 20, 50, 100, 200, 500, 1000),
+        ping_intervals=(10.0, 30.0, 60.0, 120.0, 240.0, 360.0, 480.0, 600.0),
+        baseline_queries=2000,
+        max_extent=1000,
+    ),
+}
+
+
+def get_profile(name: str) -> Profile:
+    """Look up a profile by name.
+
+    Raises:
+        ConfigError: for unknown names.
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,145 @@
+"""CLI: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments.run_all --profile quick
+    python -m repro.experiments.run_all --profile smoke --only fig8 fig13
+    repro-experiments --profile full --output results.txt
+
+``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``) or
+suite names (``cache_size``, ``ping_interval``, ``flexible_extent``,
+``policy_comparison``, ``fairness``, ``capacity``, ``malicious``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    cache_size,
+    capacity,
+    fairness,
+    flexible_extent,
+    malicious,
+    ping_interval,
+    policy_comparison,
+)
+from repro.experiments.profiles import PROFILES, get_profile
+from repro.experiments.runner import ExperimentResult
+
+#: Suite name -> suite runner.
+SUITES: Dict[str, Callable] = {
+    "cache_size": cache_size.run_suite,
+    "ping_interval": ping_interval.run_suite,
+    "flexible_extent": flexible_extent.run_suite,
+    "policy_comparison": policy_comparison.run_suite,
+    "fairness": fairness.run_suite,
+    "capacity": capacity.run_suite,
+    "malicious": malicious.run_suite,
+    "ablations": ablations.run_suite,
+}
+
+#: Experiment id -> the suite that produces it.
+EXPERIMENT_SUITE: Dict[str, str] = {
+    "table3": "cache_size",
+    "fig3": "cache_size",
+    "fig4": "cache_size",
+    "fig5": "cache_size",
+    "fig6": "ping_interval",
+    "fig7": "ping_interval",
+    "fig8": "flexible_extent",
+    "fig9": "policy_comparison",
+    "fig10": "policy_comparison",
+    "fig11": "policy_comparison",
+    "fig12": "policy_comparison",
+    "fig13": "fairness",
+    "fig14": "capacity",
+    "fig15": "capacity",
+    "fig16": "malicious",
+    "fig17": "malicious",
+    "fig18": "malicious",
+    "fig19": "malicious",
+    "fig20": "malicious",
+    "fig21": "malicious",
+}
+
+
+def resolve_suites(only: List[str] | None) -> List[str]:
+    """Map ``--only`` tokens (ids or suite names) to a suite list.
+
+    Raises:
+        SystemExit: on an unknown token (argparse-style error).
+    """
+    if not only:
+        return list(SUITES)
+    picked: List[str] = []
+    for token in only:
+        if token in SUITES:
+            suite = token
+        elif token in EXPERIMENT_SUITE:
+            suite = EXPERIMENT_SUITE[token]
+        else:
+            known = sorted(set(SUITES) | set(EXPERIMENT_SUITE))
+            raise SystemExit(f"unknown experiment {token!r}; known: {known}")
+        if suite not in picked:
+            picked.append(suite)
+    return picked
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=sorted(PROFILES),
+        help="scale profile (default: quick)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="experiment ids or suite names to run (default: everything)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the rendered results to this file",
+    )
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    suites = resolve_suites(args.only)
+
+    blocks: List[str] = [
+        f"GUESS reproduction — profile={profile.name} "
+        f"(duration={profile.duration:.0f}s, warmup={profile.warmup:.0f}s, "
+        f"trials={profile.trials})"
+    ]
+    started = time.time()
+    for suite_name in suites:
+        suite_started = time.time()
+        results: List[ExperimentResult] = SUITES[suite_name](profile)
+        elapsed = time.time() - suite_started
+        blocks.append(f"-- suite {suite_name} ({elapsed:.1f}s) --")
+        for result in results:
+            blocks.append(result.render())
+    blocks.append(f"total wall time: {time.time() - started:.1f}s")
+
+    text = "\n\n".join(blocks)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Configuration runner shared by all experiment modules.
+
+:func:`run_guess_config` runs one (SystemParams, ProtocolParams)
+configuration for ``trials`` seeded repetitions and returns the reports;
+:func:`averaged` folds an attribute across them.  Experiments compose
+these into sweeps and package the output as
+:class:`ExperimentResult` records that the CLI renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import ProtocolParams, SystemParams
+from repro.metrics.collectors import SimulationReport
+from repro.metrics.summary import mean
+from repro.reporting.series import format_series_block
+from repro.reporting.tables import format_table
+from repro.sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes:
+        experiment_id: e.g. ``"fig4"`` or ``"table3"``.
+        title: paper caption paraphrase.
+        columns: column labels when the result is tabular.
+        rows: table rows (empty when the result is purely series).
+        series: named x/y series when the result is a figure.
+        x_label: x-axis label for the series block.
+        notes: qualitative claim(s) this result should exhibit.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[tuple, ...] = ()
+    series: Dict[str, Sequence[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+    x_label: str = "x"
+    notes: str = ""
+
+    def render(self) -> str:
+        """Plain-text rendering (table, series block, or both)."""
+        parts: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.columns, self.rows))
+        if self.series:
+            parts.append(
+                format_series_block(self.series, x_label=self.x_label)
+            )
+        if self.notes:
+            parts.append(f"expected shape: {self.notes}")
+        return "\n".join(parts)
+
+
+def run_guess_config(
+    system: SystemParams,
+    protocol: ProtocolParams,
+    *,
+    duration: float,
+    warmup: float,
+    trials: int = 1,
+    base_seed: int = 0,
+    keep_queries: bool = False,
+    health_sample_interval: Optional[float] = 60.0,
+    mutate: Optional[Callable[[GuessSimulation], None]] = None,
+) -> List[SimulationReport]:
+    """Run one configuration ``trials`` times with derived seeds.
+
+    Args:
+        system / protocol: the configuration.
+        duration: measured seconds (simulation runs warmup + duration).
+        warmup: seconds before metrics collection starts.
+        trials: number of independent seeded runs.
+        base_seed: trial seeds derive from this (stable across sweeps).
+        keep_queries: retain per-query records in the reports.
+        health_sample_interval: cache-health sampling period (None = off).
+        mutate: optional hook called with each simulation before running
+            (used by extension analyses to instrument internals).
+
+    Returns:
+        One report per trial.
+    """
+    reports: List[SimulationReport] = []
+    for trial in range(trials):
+        seed = derive_seed(base_seed, f"trial:{trial}")
+        sim = GuessSimulation(
+            system,
+            protocol,
+            seed=seed,
+            warmup=warmup,
+            keep_queries=keep_queries,
+            health_sample_interval=health_sample_interval,
+        )
+        if mutate is not None:
+            mutate(sim)
+        sim.run(warmup + duration)
+        reports.append(sim.report())
+    return reports
+
+
+def averaged(
+    reports: Sequence[SimulationReport], metric: str
+) -> float:
+    """Mean of a report property (by name) across trials."""
+    return mean([getattr(report, metric) for report in reports])

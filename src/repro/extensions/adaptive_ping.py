@@ -1,0 +1,129 @@
+"""Adaptive PingInterval control (paper §6.1, concluding guidance).
+
+    "While sending query or Ping messages, if a peer discovers that many
+    of its probes are to dead addresses, the peer should decrease its
+    PingInterval.  On the other hand, if a peer discovers that almost
+    all its entries are live, then it may increase its PingInterval."
+
+:class:`AdaptivePingController` implements exactly that feedback loop as
+a per-peer controller: probe outcomes stream in, and the controller
+multiplicatively tightens or relaxes the interval against a target live
+fraction, clamped to a safe band.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class AdaptivePingController:
+    """Multiplicative-adjustment controller for one peer's PingInterval.
+
+    Args:
+        initial_interval: starting PingInterval in seconds.
+        target_live_fraction: desired fraction of live probe outcomes;
+            below it the interval tightens, comfortably above it the
+            interval relaxes.
+        min_interval / max_interval: clamp band.
+        window: probe outcomes per adjustment decision.
+        tighten_factor: interval multiplier when too many probes are
+            dead (< 1).
+        relax_factor: interval multiplier when nearly everything is
+            live (> 1).
+        relax_threshold: live fraction above which relaxing is allowed
+            (the paper says "almost all entries are live").
+
+    Example::
+
+        controller = AdaptivePingController(30.0)
+        controller.observe(dead=True)
+        ...
+        interval = controller.interval   # use for the next ping
+    """
+
+    def __init__(
+        self,
+        initial_interval: float,
+        target_live_fraction: float = 0.8,
+        min_interval: float = 5.0,
+        max_interval: float = 600.0,
+        window: int = 10,
+        tighten_factor: float = 0.5,
+        relax_factor: float = 1.25,
+        relax_threshold: float = 0.95,
+    ) -> None:
+        if initial_interval <= 0:
+            raise ConfigError(
+                f"initial_interval must be > 0, got {initial_interval}"
+            )
+        if not 0.0 < target_live_fraction < 1.0:
+            raise ConfigError(
+                f"target_live_fraction must be in (0, 1), got {target_live_fraction}"
+            )
+        if not 0 < min_interval <= max_interval:
+            raise ConfigError(
+                f"need 0 < min_interval <= max_interval, got "
+                f"[{min_interval}, {max_interval}]"
+            )
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        if not 0.0 < tighten_factor < 1.0:
+            raise ConfigError(
+                f"tighten_factor must be in (0, 1), got {tighten_factor}"
+            )
+        if relax_factor <= 1.0:
+            raise ConfigError(
+                f"relax_factor must be > 1, got {relax_factor}"
+            )
+        if not target_live_fraction <= relax_threshold <= 1.0:
+            raise ConfigError(
+                "relax_threshold must lie in [target_live_fraction, 1], "
+                f"got {relax_threshold}"
+            )
+        self._interval = min(max(initial_interval, min_interval), max_interval)
+        self.target_live_fraction = target_live_fraction
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.window = window
+        self.tighten_factor = tighten_factor
+        self.relax_factor = relax_factor
+        self.relax_threshold = relax_threshold
+        self._live = 0
+        self._dead = 0
+        self.adjustments = 0
+
+    @property
+    def interval(self) -> float:
+        """The interval to use for the next ping."""
+        return self._interval
+
+    def observe(self, dead: bool) -> None:
+        """Feed one probe outcome; adjusts once per ``window`` outcomes."""
+        if dead:
+            self._dead += 1
+        else:
+            self._live += 1
+        if self._live + self._dead >= self.window:
+            self._adjust()
+
+    def _adjust(self) -> None:
+        total = self._live + self._dead
+        live_fraction = self._live / total
+        if live_fraction < self.target_live_fraction:
+            self._interval = max(
+                self.min_interval, self._interval * self.tighten_factor
+            )
+            self.adjustments += 1
+        elif live_fraction >= self.relax_threshold:
+            self._interval = min(
+                self.max_interval, self._interval * self.relax_factor
+            )
+            self.adjustments += 1
+        self._live = 0
+        self._dead = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptivePingController(interval={self._interval:.1f}s, "
+            f"adjustments={self.adjustments})"
+        )

@@ -1,0 +1,130 @@
+"""A GUESS network with adaptive per-peer PingIntervals.
+
+:class:`AdaptiveMaintenanceSimulation` closes the loop on the §6.1
+guidance that :class:`~repro.extensions.adaptive_ping.AdaptivePingController`
+implements: every good peer owns a controller, feeds it the outcome of
+each maintenance ping, and schedules its *next* ping at the controller's
+current interval.  Under heavy churn peers converge to tight intervals
+(fresh caches at higher ping cost); in calm networks they relax and
+save traffic — without any global coordination, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.peer import GuessPeer
+from repro.extensions.adaptive_ping import AdaptivePingController
+from repro.network.address import Address
+from repro.network.transport import ProbeStatus
+from repro.sim.events import EventPriority
+
+ControllerFactory = Callable[[float], AdaptivePingController]
+
+
+class AdaptiveMaintenanceSimulation(GuessSimulation):
+    """GuessSimulation with controller-driven ping scheduling.
+
+    Args:
+        controller_factory: builds each peer's controller from the
+            protocol's base PingInterval; defaults to the controller's
+            own defaults.
+        Remaining arguments as for :class:`GuessSimulation`.
+    """
+
+    def __init__(
+        self,
+        *args,
+        controller_factory: Optional[ControllerFactory] = None,
+        **kwargs,
+    ) -> None:
+        self._controller_factory = (
+            controller_factory or AdaptivePingController
+        )
+        self._controllers: Dict[Address, AdaptivePingController] = {}
+        super().__init__(*args, **kwargs)
+
+    def controller_for(self, address: Address) -> Optional[AdaptivePingController]:
+        """The live controller for ``address`` (None for malicious/dead)."""
+        return self._controllers.get(address)
+
+    def mean_ping_interval(self) -> float:
+        """Average current interval across live controllers (diagnostics)."""
+        if not self._controllers:
+            return self.protocol.ping_interval
+        intervals = [c.interval for c in self._controllers.values()]
+        return sum(intervals) / len(intervals)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_peer(self, now, malicious, friend=None, is_rebirth=False):
+        peer = super()._spawn_peer(
+            now, malicious, friend=friend, is_rebirth=is_rebirth
+        )
+        if not malicious:
+            self._controllers[peer.address] = self._controller_factory(
+                self.protocol.ping_interval
+            )
+        return peer
+
+    def _on_death(self, peer):
+        self._controllers.pop(peer.address, None)
+        super()._on_death(peer)
+
+    # ------------------------------------------------------------------
+    # Adaptive ping cycle
+    # ------------------------------------------------------------------
+
+    def _ping_cycle(self, peer: GuessPeer) -> None:
+        now = self.engine.now
+        if not peer.is_alive(now):
+            return
+        controller = self._controllers.get(peer.address)
+        self._do_adaptive_ping(peer, now, controller)
+        interval = (
+            controller.interval
+            if controller is not None
+            else self.protocol.ping_interval
+        )
+        self.engine.schedule_after(
+            interval,
+            lambda: self._ping_cycle(peer),
+            priority=EventPriority.PROTOCOL,
+            label="adaptive-ping",
+        )
+
+    def _do_adaptive_ping(
+        self,
+        peer: GuessPeer,
+        now: float,
+        controller: Optional[AdaptivePingController],
+    ) -> None:
+        """One maintenance ping, with the outcome fed to the controller."""
+        entry = peer.choose_ping_target(now)
+        if entry is None:
+            return
+        outcome = self.transport.probe(
+            peer.address, entry.address, peer.ping_message(), now
+        )
+        if outcome.status is ProbeStatus.TIMEOUT:
+            peer.link_cache.evict(entry.address)
+            self.collector.record_ping(dead=True, time=now)
+            if controller is not None:
+                controller.observe(dead=True)
+            return
+        if outcome.status is ProbeStatus.REFUSED:
+            if not self.protocol.do_backoff:
+                peer.link_cache.evict(entry.address)
+            self.collector.record_ping(dead=False, time=now)
+            # A refusal proves liveness; the controller counts it live.
+            if controller is not None:
+                controller.observe(dead=False)
+            return
+        peer.link_cache.touch(entry.address, now)
+        peer.import_pong_to_link_cache(outcome.response, now)
+        self.collector.record_ping(dead=False, time=now)
+        if controller is not None:
+            controller.observe(dead=False)

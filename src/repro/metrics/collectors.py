@@ -1,0 +1,271 @@
+"""Run-time metric accumulation and the end-of-run report.
+
+:class:`MetricsCollector` is fed by the simulation as events happen:
+
+* one :meth:`record_query` call per executed query (after warmup);
+* ping accounting from the maintenance cycle;
+* per-peer lifetime loads, harvested when a peer dies and from survivors
+  at report time;
+* periodic :class:`CacheHealthSample` rows — fraction of live entries,
+  absolute live entries, and "good" (live and non-malicious) entries per
+  good peer — the raw material for Table 3 and Figures 18/21.
+
+:class:`SimulationReport` is the frozen summary the experiment layer
+consumes; every paper metric is a property with the paper's name in its
+docstring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.search import QueryResult
+from repro.metrics.load import LoadDistribution
+from repro.metrics.summary import mean, ratio
+from repro.network.address import Address
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHealthSample:
+    """One periodic snapshot of average link-cache health (good peers).
+
+    Attributes:
+        time: sample timestamp.
+        fraction_live: mean fraction of cache entries pointing to live
+            peers (Table 3, column "Fraction Live").
+        absolute_live: mean count of live entries (Table 3, "Absolute
+            Live").
+        good_entries: mean count of live AND non-malicious entries
+            (Figures 18/21, "Average # Good Cache Entries").
+        cache_fill: mean number of entries held (caches run below
+            capacity because dead entries are evicted).
+    """
+
+    time: float
+    fraction_live: float
+    absolute_live: float
+    good_entries: float
+    cache_fill: float
+
+
+@dataclass(slots=True)
+class _QueryAggregate:
+    """Streaming sums over recorded queries (memory-light default path)."""
+
+    count: int = 0
+    satisfied: int = 0
+    probes: int = 0
+    good: int = 0
+    dead: int = 0
+    refused: int = 0
+    response_time_sum: float = 0.0
+    response_time_count: int = 0
+
+
+class MetricsCollector:
+    """Accumulates metrics during a simulation run.
+
+    Args:
+        warmup: queries and pings before this time are ignored, letting
+            caches reach steady state before measurement (the load and
+            cache-health channels also honour it).
+        keep_queries: retain every :class:`QueryResult` (needed only by
+            analyses that want full distributions; the aggregate path is
+            default to keep long runs light).
+    """
+
+    def __init__(self, warmup: float = 0.0, keep_queries: bool = False) -> None:
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.warmup = float(warmup)
+        self.keep_queries = bool(keep_queries)
+        self._agg = _QueryAggregate()
+        self._queries: List[QueryResult] = []
+        self._loads: Dict[Address, int] = {}
+        self._refusals: Dict[Address, int] = {}
+        self._health: List[CacheHealthSample] = []
+        self.pings_sent = 0
+        self.dead_pings = 0
+        self.births = 0
+        self.deaths = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def record_query(self, result: QueryResult, time: float) -> None:
+        """Record one query outcome (ignored during warmup)."""
+        if time < self.warmup:
+            return
+        agg = self._agg
+        agg.count += 1
+        agg.satisfied += 1 if result.satisfied else 0
+        agg.probes += result.probes
+        agg.good += result.good_probes
+        agg.dead += result.dead_probes
+        agg.refused += result.refused_probes
+        if result.response_time is not None:
+            agg.response_time_sum += result.response_time
+            agg.response_time_count += 1
+        if self.keep_queries:
+            self._queries.append(result)
+
+    def record_ping(self, dead: bool, time: float) -> None:
+        """Record one maintenance ping and whether it found a corpse."""
+        if time < self.warmup:
+            return
+        self.pings_sent += 1
+        if dead:
+            self.dead_pings += 1
+
+    def record_death(self, time: float) -> None:
+        """Count a peer departure (post-warmup)."""
+        if time >= self.warmup:
+            self.deaths += 1
+
+    def record_birth(self, time: float) -> None:
+        """Count a peer arrival (post-warmup)."""
+        if time >= self.warmup:
+            self.births += 1
+
+    def harvest_peer(
+        self, address: Address, probes_received: int, probes_refused: int
+    ) -> None:
+        """Absorb a peer's lifetime counters (at its death or at report).
+
+        Loads accumulate across harvests, so harvesting a live peer at
+        report time after its death-time harvest would double-count —
+        the simulation harvests each peer exactly once.
+        """
+        self._loads[address] = self._loads.get(address, 0) + probes_received
+        self._refusals[address] = (
+            self._refusals.get(address, 0) + probes_refused
+        )
+
+    def record_health_sample(self, sample: CacheHealthSample) -> None:
+        """Append one periodic cache-health snapshot (post-warmup only)."""
+        if sample.time >= self.warmup:
+            self._health.append(sample)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def build_report(self) -> "SimulationReport":
+        """Freeze the accumulated metrics into a report."""
+        agg = self._agg
+        return SimulationReport(
+            queries=agg.count,
+            satisfied_queries=agg.satisfied,
+            total_probes=agg.probes,
+            good_probes=agg.good,
+            dead_probes=agg.dead,
+            refused_probes=agg.refused,
+            mean_response_time=(
+                agg.response_time_sum / agg.response_time_count
+                if agg.response_time_count
+                else None
+            ),
+            pings_sent=self.pings_sent,
+            dead_pings=self.dead_pings,
+            births=self.births,
+            deaths=self.deaths,
+            loads=dict(self._loads),
+            refusals=dict(self._refusals),
+            health_samples=tuple(self._health),
+            query_results=tuple(self._queries) if self.keep_queries else (),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Frozen end-of-run metrics; the experiment layer's input."""
+
+    queries: int
+    satisfied_queries: int
+    total_probes: int
+    good_probes: int
+    dead_probes: int
+    refused_probes: int
+    mean_response_time: Optional[float]
+    pings_sent: int
+    dead_pings: int
+    births: int
+    deaths: int
+    loads: Dict[Address, int] = field(default_factory=dict)
+    refusals: Dict[Address, int] = field(default_factory=dict)
+    health_samples: tuple = ()
+    query_results: tuple = ()
+
+    # -- Paper metrics --------------------------------------------------
+
+    @property
+    def probes_per_query(self) -> float:
+        """Average probes per query (the paper's primary cost metric)."""
+        return ratio(self.total_probes, self.queries)
+
+    @property
+    def good_probes_per_query(self) -> float:
+        """Average probes reaching live peers, per query."""
+        return ratio(self.good_probes, self.queries)
+
+    @property
+    def dead_probes_per_query(self) -> float:
+        """Average wasted probes ("DeadIPs/Query") per query."""
+        return ratio(self.dead_probes, self.queries)
+
+    @property
+    def refused_probes_per_query(self) -> float:
+        """Average refused probes per query (Figure 14)."""
+        return ratio(self.refused_probes, self.queries)
+
+    @property
+    def unsatisfied_rate(self) -> float:
+        """Proportion of queries not reaching NumDesiredResults results."""
+        if self.queries == 0:
+            return 0.0
+        return 1.0 - self.satisfied_queries / self.queries
+
+    @property
+    def satisfaction_rate(self) -> float:
+        """Complement of :attr:`unsatisfied_rate`."""
+        return 1.0 - self.unsatisfied_rate
+
+    @property
+    def wasted_probe_fraction(self) -> float:
+        """Fraction of all probes that were wasted on dead peers."""
+        return ratio(self.dead_probes, self.total_probes)
+
+    @property
+    def dead_ping_fraction(self) -> float:
+        """Fraction of maintenance pings that discovered a corpse."""
+        return ratio(self.dead_pings, self.pings_sent)
+
+    # -- Cache health (Table 3, Figures 18/21) ---------------------------
+
+    @property
+    def mean_fraction_live(self) -> float:
+        """Time-averaged fraction of live link-cache entries."""
+        return mean([s.fraction_live for s in self.health_samples])
+
+    @property
+    def mean_absolute_live(self) -> float:
+        """Time-averaged absolute number of live link-cache entries."""
+        return mean([s.absolute_live for s in self.health_samples])
+
+    @property
+    def mean_good_entries(self) -> float:
+        """Time-averaged live-and-non-malicious entries per good peer."""
+        return mean([s.good_entries for s in self.health_samples])
+
+    @property
+    def mean_cache_fill(self) -> float:
+        """Time-averaged entries held per cache."""
+        return mean([s.cache_fill for s in self.health_samples])
+
+    # -- Load / fairness (Figure 13) -------------------------------------
+
+    def load_distribution(self) -> LoadDistribution:
+        """Ranked per-peer received-probe distribution."""
+        return LoadDistribution(self.loads)

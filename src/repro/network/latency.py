@@ -1,0 +1,84 @@
+"""Latency models for the probe transport.
+
+The paper's metrics count probes, not milliseconds, but its
+response-time discussion (§6.2) prices a probe round trip.  The default
+transport charges a constant RTT; this module adds distributions for
+sensitivity analyses:
+
+* :func:`uniform_latency` — RTT uniform in ``[low, high]``;
+* :func:`lognormal_latency` — the classic heavy-tailed Internet RTT;
+* :func:`pairwise_latency` — deterministic per-pair RTTs derived from a
+  seed, so the same pair always sees the same distance (a stand-in for
+  geography).
+
+All return a ``LatencyModel`` callable compatible with
+:class:`repro.network.transport.Transport`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.network.address import Address
+from repro.network.transport import LatencyModel
+from repro.sim.rng import derive_seed
+
+
+def uniform_latency(
+    low: float, high: float, seed: int = 0
+) -> LatencyModel:
+    """RTT drawn uniformly from ``[low, high]`` per probe."""
+    if not 0 <= low <= high:
+        raise ConfigError(
+            f"need 0 <= low <= high, got [{low}, {high}]"
+        )
+    rng = random.Random(derive_seed(seed, "latency:uniform"))
+
+    def model(src: Address, dst: Address) -> float:
+        return rng.uniform(low, high)
+
+    return model
+
+
+def lognormal_latency(
+    median: float, sigma: float = 0.5, cap: float | None = None, seed: int = 0
+) -> LatencyModel:
+    """Heavy-tailed RTT with the given median, optionally capped."""
+    if median <= 0:
+        raise ConfigError(f"median must be > 0, got {median}")
+    if sigma <= 0:
+        raise ConfigError(f"sigma must be > 0, got {sigma}")
+    if cap is not None and cap < median:
+        raise ConfigError(f"cap {cap} must be >= median {median}")
+    import math
+
+    mu = math.log(median)
+    rng = random.Random(derive_seed(seed, "latency:lognormal"))
+
+    def model(src: Address, dst: Address) -> float:
+        rtt = rng.lognormvariate(mu, sigma)
+        return min(rtt, cap) if cap is not None else rtt
+
+    return model
+
+
+def pairwise_latency(
+    low: float, high: float, seed: int = 0
+) -> LatencyModel:
+    """Deterministic per-pair RTT in ``[low, high]``.
+
+    The RTT for ``(src, dst)`` is a pure function of the unordered pair
+    and the seed — repeated probes between the same peers always see the
+    same distance, like hosts at fixed locations.
+    """
+    if not 0 <= low <= high:
+        raise ConfigError(f"need 0 <= low <= high, got [{low}, {high}]")
+    span = high - low
+
+    def model(src: Address, dst: Address) -> float:
+        a, b = (src, dst) if src <= dst else (dst, src)
+        fraction = derive_seed(seed, f"pair:{a}:{b}") / float(2**64)
+        return low + span * fraction
+
+    return model

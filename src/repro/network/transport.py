@@ -1,0 +1,183 @@
+"""UDP-like probe transport.
+
+GUESS communicates over UDP (paper Section 2.1): there are no connections,
+so a peer cannot tell that a cache entry is dead except by probing it and
+timing out.  The transport models exactly that:
+
+* probes to an address whose endpoint is gone (or dead at the probe's
+  virtual timestamp) **time out** — the sender learns nothing except the
+  absence of a reply;
+* probes to live endpoints are handed to the endpoint, which may answer or
+  explicitly **refuse** (the overload signal of Section 6.3);
+* an optional latency model prices each delivered round trip for
+  response-time accounting.
+
+The transport is synchronous: the GUESS query loop is strictly serial (one
+probe, then reply-or-timeout, then the next probe), so a function call that
+returns the outcome models the protocol faithfully while keeping the event
+count per query at one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from repro.network.address import Address
+
+
+class ProbeStatus(enum.Enum):
+    """Terminal status of a single probe."""
+
+    DELIVERED = "delivered"
+    """The target was alive and returned a response payload."""
+
+    TIMEOUT = "timeout"
+    """No endpoint answered: the target is dead or was never registered."""
+
+    REFUSED = "refused"
+    """The target was alive but over its capacity limit and said so."""
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeOutcome:
+    """Result of one probe.
+
+    Attributes:
+        status: terminal status.
+        response: payload returned by the endpoint (``None`` unless
+            :attr:`ProbeStatus.DELIVERED`).
+        rtt: modelled round-trip time in seconds.  Timeouts are charged the
+            full timeout period.
+    """
+
+    status: ProbeStatus
+    response: Any = None
+    rtt: float = 0.0
+
+    @property
+    def delivered(self) -> bool:
+        return self.status is ProbeStatus.DELIVERED
+
+
+class Endpoint(Protocol):
+    """What the transport needs from a registered peer."""
+
+    def is_alive(self, time: float) -> bool:
+        """Whether the peer is still up at virtual time ``time``."""
+
+    def receive_probe(self, message: Any, time: float) -> tuple[bool, Any]:
+        """Handle a probe delivered at ``time``.
+
+        Returns:
+            ``(accepted, response)``.  ``accepted=False`` means the peer
+            refused the probe (overload); ``response`` may still carry a
+            refusal notice.
+        """
+
+
+LatencyModel = Callable[[Address, Address], float]
+
+
+def constant_latency(rtt: float = 0.05) -> LatencyModel:
+    """A latency model charging the same round-trip time to every pair."""
+    if rtt < 0:
+        raise ValueError(f"rtt must be >= 0, got {rtt}")
+    return lambda src, dst: rtt
+
+
+class Transport:
+    """Directory of endpoints plus UDP probe semantics.
+
+    Args:
+        timeout: seconds a sender waits before concluding a probe is lost.
+            The GUESS spec's inter-probe spacing (0.2 s) is used as the
+            default.
+        latency: round-trip pricing for delivered probes; defaults to a
+            4× faster-than-timeout constant.
+    """
+
+    def __init__(
+        self,
+        timeout: float = 0.2,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = float(timeout)
+        self._latency = latency or constant_latency(timeout / 4.0)
+        self._directory: Dict[Address, Endpoint] = {}
+        self._probes_sent = 0
+        self._timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Directory management
+    # ------------------------------------------------------------------
+
+    def register(self, address: Address, endpoint: Endpoint) -> None:
+        """Attach ``endpoint`` to ``address``.
+
+        Raises:
+            ValueError: if the address is already bound (addresses are
+                never reused, so a double bind is always a bug).
+        """
+        if address in self._directory:
+            raise ValueError(f"address {address} already registered")
+        self._directory[address] = endpoint
+
+    def unregister(self, address: Address) -> None:
+        """Detach the endpoint at ``address`` (no-op if absent).
+
+        Dead peers may either be unregistered or left registered with
+        ``is_alive`` returning False; both produce timeouts.
+        """
+        self._directory.pop(address, None)
+
+    def endpoint(self, address: Address) -> Optional[Endpoint]:
+        """The endpoint bound to ``address``, or None."""
+        return self._directory.get(address)
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def probe(self, src: Address, dst: Address, message: Any, time: float) -> ProbeOutcome:
+        """Send ``message`` from ``src`` to ``dst`` at virtual time ``time``.
+
+        Returns:
+            A :class:`ProbeOutcome`; timeouts carry ``rtt == timeout``.
+        """
+        self._probes_sent += 1
+        endpoint = self._directory.get(dst)
+        if endpoint is None or not endpoint.is_alive(time):
+            self._timeouts += 1
+            return ProbeOutcome(status=ProbeStatus.TIMEOUT, rtt=self.timeout)
+        accepted, response = endpoint.receive_probe(message, time)
+        rtt = self._latency(src, dst)
+        if not accepted:
+            return ProbeOutcome(status=ProbeStatus.REFUSED, response=response, rtt=rtt)
+        return ProbeOutcome(status=ProbeStatus.DELIVERED, response=response, rtt=rtt)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    @property
+    def probes_sent(self) -> int:
+        """Total probes pushed through this transport."""
+        return self._probes_sent
+
+    @property
+    def timeouts(self) -> int:
+        """Total probes that found no live endpoint."""
+        return self._timeouts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transport(endpoints={len(self._directory)}, "
+            f"probes={self._probes_sent}, timeouts={self._timeouts})"
+        )

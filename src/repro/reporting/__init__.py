@@ -1,0 +1,13 @@
+"""Plain-text rendering of experiment outputs.
+
+The experiments regenerate the paper's tables and figures as data; this
+package renders them for terminals and logs:
+
+* :mod:`repro.reporting.tables` — fixed-width ASCII tables;
+* :mod:`repro.reporting.series` — labelled x/y series (the "figures").
+"""
+
+from repro.reporting.series import format_series_block
+from repro.reporting.tables import format_table
+
+__all__ = ["format_series_block", "format_table"]

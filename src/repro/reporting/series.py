@@ -1,0 +1,46 @@
+"""Labelled x/y series rendering — the text form of the paper's figures.
+
+A "figure" in this reproduction is a set of named series over a shared
+x-axis.  :func:`format_series_block` renders them as one aligned table
+with the x values in the first column and one column per series, which
+diffs cleanly and reads fine in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.reporting.tables import format_table
+
+Series = Sequence[Tuple[float, float]]
+
+
+def format_series_block(
+    series: Dict[str, Series],
+    x_label: str,
+    title: str | None = None,
+) -> str:
+    """Render named series sharing an x-axis as one aligned table.
+
+    Series may have different x supports; missing cells render as ``-``.
+
+    Raises:
+        ValueError: if ``series`` is empty.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs: List[float] = sorted(
+        {x for points in series.values() for x, _ in points}
+    )
+    by_name = {
+        name: dict(points) for name, points in series.items()
+    }
+    columns = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = by_name[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(columns, rows, title=title)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+This subpackage is the simulator the paper's authors built in-house: a
+deterministic event heap (:mod:`repro.sim.engine`), typed event records
+(:mod:`repro.sim.events`), named seeded random streams
+(:mod:`repro.sim.rng`), and per-second sliding-window counters used to model
+``MaxProbesPerSecond`` capacity limits (:mod:`repro.sim.windows`).
+
+The kernel is intentionally tiny and dependency-free; everything above it
+(the GUESS protocol, baselines, experiments) schedules plain callbacks.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventPriority
+from repro.sim.rng import RngRegistry
+from repro.sim.windows import BucketedRateLimiter, SlidingWindowCounter
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventPriority",
+    "RngRegistry",
+    "SlidingWindowCounter",
+    "BucketedRateLimiter",
+]

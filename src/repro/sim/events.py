@@ -1,0 +1,59 @@
+"""Event records for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``.  The sequence number is a
+monotonically increasing tie-breaker assigned by the engine, which makes the
+execution order of same-time, same-priority events equal to their scheduling
+order — a property the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventPriority(enum.IntEnum):
+    """Priority classes for events that fire at the same timestamp.
+
+    Lower numeric value runs first.  Deaths run before protocol activity at
+    the same instant (a peer that dies at time *t* must not answer a probe
+    at *t*), and births run right after deaths so the population size is
+    restored before any query activity.
+    """
+
+    DEATH = 0
+    BIRTH = 1
+    PROTOCOL = 2
+    QUERY = 3
+    METRICS = 4
+
+    @classmethod
+    def default(cls) -> "EventPriority":
+        return cls.PROTOCOL
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation timestamp (seconds) at which the event fires.
+        priority: tie-break class for same-time events.
+        seq: engine-assigned monotone sequence number (scheduling order).
+        action: zero-argument callable executed when the event fires.
+        label: human-readable tag used in engine traces and error messages.
+    """
+
+    time: float
+    priority: EventPriority
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Total ordering used by the engine's heap."""
+        return (self.time, int(self.priority), self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()

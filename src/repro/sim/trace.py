@@ -1,0 +1,112 @@
+"""Bounded event tracing for simulation debugging.
+
+A :class:`TraceLog` is a ring buffer of structured trace records.  The
+simulator itself never traces (hot paths stay clean); components opt in
+by calling :meth:`TraceLog.emit` where observability is wanted.  The
+experiments never enable tracing — this is a debugging aid for people
+extending the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterator, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace event.
+
+    Attributes:
+        time: simulation timestamp.
+        kind: short category tag ("probe", "death", "evict", ...).
+        detail: free-form payload (kept small by convention).
+    """
+
+    time: float
+    kind: str
+    detail: Dict[str, Any]
+
+
+class TraceLog:
+    """Bounded, filterable trace sink.
+
+    Args:
+        capacity: maximum retained records (oldest evicted first).
+        kinds: if given, only these categories are retained.
+
+    Example::
+
+        trace = TraceLog(capacity=1000, kinds={"probe"})
+        trace.emit(12.5, "probe", src=1, dst=9, status="timeout")
+        timeouts = sum(
+            1 for r in trace if r.detail.get("status") == "timeout"
+        )
+    """
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        kinds: Optional[set[str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.kinds = set(kinds) if kinds is not None else None
+        self._records: Deque[TraceRecord] = deque(maxlen=self.capacity)
+        self._emitted = 0
+        self._dropped_by_filter = 0
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:
+        """Record one event (dropped silently if filtered out)."""
+        self._emitted += 1
+        if self.kinds is not None and kind not in self.kinds:
+            self._dropped_by_filter += 1
+            return
+        self._records.append(TraceRecord(time=time, kind=kind, detail=detail))
+
+    def hook(self, kind: str) -> Callable[..., None]:
+        """A partially applied emitter for one category.
+
+        Handy for passing into components: ``on_probe = trace.hook("probe")``.
+        """
+
+        def emitter(time: float, **detail: Any) -> None:
+            self.emit(time, kind, **detail)
+
+        return emitter
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        """Retained records of one category, oldest first."""
+        return (r for r in self._records if r.kind == kind)
+
+    def last(self) -> Optional[TraceRecord]:
+        """The most recent retained record, or None."""
+        return self._records[-1] if self._records else None
+
+    @property
+    def emitted(self) -> int:
+        """Total emit calls, including filtered and ring-evicted ones."""
+        return self._emitted
+
+    @property
+    def dropped_by_filter(self) -> int:
+        """Emit calls discarded by the kind filter."""
+        return self._dropped_by_filter
+
+    def clear(self) -> None:
+        """Drop all retained records (counters keep accumulating)."""
+        self._records.clear()

@@ -1,0 +1,83 @@
+"""Bursty query-arrival process.
+
+Paper Section 5.1: "The generation of queries at each peer follows a
+bursty pattern, in which a number of queries (number uniformly chosen
+between 1 and 5) are submitted in succession, followed by a long wait.
+The arrival of bursts follow a Poisson process, and the overall rate of
+queries per user is given by QueryRate."
+
+:class:`QueryBurstProcess` captures exactly that: exponential burst
+inter-arrivals with the rate derated by the mean burst size, so the
+long-run per-user query rate equals ``QueryRate``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+#: Burst sizes are uniform on [MIN_BURST, MAX_BURST] (paper: 1..5).
+MIN_BURST = 1
+MAX_BURST = 5
+
+#: Default per-user query rate from Table 1.
+DEFAULT_QUERY_RATE = 9.26e-3
+
+
+class QueryBurstProcess:
+    """Per-peer bursty Poisson query generator.
+
+    Args:
+        query_rate: expected queries per user per second (Table 1 default
+            ``9.26e-3``).
+        min_burst / max_burst: inclusive burst-size bounds.
+
+    Example::
+
+        process = QueryBurstProcess(query_rate=9.26e-3)
+        delay = process.next_burst_delay(rng)   # seconds to next burst
+        size = process.burst_size(rng)          # 1..5 queries
+    """
+
+    def __init__(
+        self,
+        query_rate: float = DEFAULT_QUERY_RATE,
+        min_burst: int = MIN_BURST,
+        max_burst: int = MAX_BURST,
+    ) -> None:
+        if query_rate < 0:
+            raise WorkloadError(f"query_rate must be >= 0, got {query_rate}")
+        if min_burst < 1 or max_burst < min_burst:
+            raise WorkloadError(
+                f"burst bounds must satisfy 1 <= min <= max, "
+                f"got [{min_burst}, {max_burst}]"
+            )
+        self.query_rate = float(query_rate)
+        self.min_burst = int(min_burst)
+        self.max_burst = int(max_burst)
+
+    @property
+    def mean_burst_size(self) -> float:
+        """Expected queries per burst."""
+        return (self.min_burst + self.max_burst) / 2.0
+
+    @property
+    def burst_rate(self) -> float:
+        """Bursts per second yielding the configured per-user query rate."""
+        return self.query_rate / self.mean_burst_size
+
+    def next_burst_delay(self, rng: random.Random) -> float:
+        """Exponential delay (seconds) until the peer's next burst.
+
+        Returns ``inf`` when the query rate is zero (ping-only
+        simulations, used by the connectivity experiments).
+        """
+        rate = self.burst_rate
+        if rate == 0.0:
+            return float("inf")
+        return rng.expovariate(rate)
+
+    def burst_size(self, rng: random.Random) -> int:
+        """Uniform burst size in ``[min_burst, max_burst]``."""
+        return rng.randint(self.min_burst, self.max_burst)

@@ -1,0 +1,82 @@
+"""Tests for churn analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.churn import ChurnStats
+from repro.errors import WorkloadError
+from repro.workload.lifetimes import LifetimeModel
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12)
+
+
+class TestEstimate:
+    def test_fixed_lifetimes(self, rng):
+        model = LifetimeModel(sample=[100.0] * 10)
+        stats = ChurnStats.estimate(
+            model, network_size=50, interval=30.0, rng=rng, samples=100
+        )
+        assert stats.median_lifetime == pytest.approx(100.0)
+        assert stats.mean_lifetime == pytest.approx(100.0)
+        assert stats.turnover_per_hour == pytest.approx(50 / 100 * 3600)
+        assert stats.death_within_interval_p == 0.0
+
+    def test_interval_death_probability(self, rng):
+        # A dense bimodal sample: half the mass at 10s, half at 1000s,
+        # so interpolation between order statistics barely blurs the
+        # boundary.
+        model = LifetimeModel(sample=[10.0] * 50 + [1000.0] * 50)
+        stats = ChurnStats.estimate(
+            model, network_size=10, interval=50.0, rng=rng, samples=4000
+        )
+        assert stats.death_within_interval_p == pytest.approx(0.5, abs=0.05)
+
+    def test_multiplier_shifts_turnover(self, rng):
+        fast = ChurnStats.estimate(
+            LifetimeModel(multiplier=0.2), 100, 30.0, rng, samples=2000
+        )
+        slow = ChurnStats.estimate(
+            LifetimeModel(multiplier=1.0), 100, 30.0, random.Random(12),
+            samples=2000,
+        )
+        assert fast.turnover_per_hour > 3 * slow.turnover_per_hour
+
+    def test_validation(self, rng):
+        model = LifetimeModel(sample=[10.0])
+        with pytest.raises(WorkloadError):
+            ChurnStats.estimate(model, 0, 30.0, rng)
+        with pytest.raises(WorkloadError):
+            ChurnStats.estimate(model, 10, 0.0, rng)
+        with pytest.raises(WorkloadError):
+            ChurnStats.estimate(model, 10, 30.0, rng, samples=5)
+
+
+class TestSuggestedInterval:
+    def test_scales_inversely_with_cache_size(self, rng):
+        stats = ChurnStats.estimate(
+            LifetimeModel(sample=[3600.0] * 4), 100, 30.0, rng, samples=100
+        )
+        small = stats.suggested_ping_interval(cache_size=10)
+        large = stats.suggested_ping_interval(cache_size=100)
+        assert small > large  # small caches may ping each entry more often
+
+    def test_floor_of_one_second(self, rng):
+        stats = ChurnStats.estimate(
+            LifetimeModel(sample=[10.0] * 4), 100, 30.0, rng, samples=100
+        )
+        assert stats.suggested_ping_interval(cache_size=1000) >= 1.0
+
+    def test_validation(self, rng):
+        stats = ChurnStats.estimate(
+            LifetimeModel(sample=[100.0] * 4), 100, 30.0, rng, samples=100
+        )
+        with pytest.raises(WorkloadError):
+            stats.suggested_ping_interval(0)
+        with pytest.raises(WorkloadError):
+            stats.suggested_ping_interval(10, target_dead_per_cycle=0.0)

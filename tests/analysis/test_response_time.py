@@ -1,0 +1,78 @@
+"""Tests for response-time analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.response_time import (
+    ResponseTimeStats,
+    parallel_response_estimate,
+)
+from repro.core.search import QueryResult
+from repro.errors import ConfigError
+
+
+def make_result(response_time, satisfied=True):
+    return QueryResult(
+        satisfied=satisfied,
+        results=1 if satisfied else 0,
+        probes=5,
+        good_probes=5,
+        dead_probes=0,
+        refused_probes=0,
+        duration=1.0,
+        response_time=response_time if satisfied else None,
+        pool_exhausted=not satisfied,
+    )
+
+
+class TestResponseTimeStats:
+    def test_summary_values(self):
+        results = [make_result(t) for t in (1.0, 2.0, 3.0, 4.0)]
+        stats = ResponseTimeStats.from_results(results)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == pytest.approx(2.5)
+        assert stats.worst == 4.0
+
+    def test_unsatisfied_skipped(self):
+        results = [make_result(1.0), make_result(None, satisfied=False)]
+        stats = ResponseTimeStats.from_results(results)
+        assert stats.count == 1
+
+    def test_empty(self):
+        stats = ResponseTimeStats.from_results([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.worst == 0.0
+
+
+class TestParallelEstimate:
+    def test_paper_example(self):
+        """§6.2: 17 probes, k=5 -> at most 21 probes, < 1 second."""
+        response, probes = parallel_response_estimate(17, 5)
+        assert probes == 21.0
+        assert response < 1.0
+
+    def test_serial_identity(self):
+        response, probes = parallel_response_estimate(10, 1, spacing=0.2)
+        assert response == pytest.approx(2.0)
+        assert probes == 10.0
+
+    def test_paper_worst_case(self):
+        """§6.2: 1000 serial probes at 0.2s spacing = 200 seconds."""
+        response, _ = parallel_response_estimate(1000, 1)
+        assert response == pytest.approx(200.0)
+
+    def test_k_divides_response(self):
+        serial, _ = parallel_response_estimate(100, 1)
+        parallel, _ = parallel_response_estimate(100, 10)
+        assert parallel == pytest.approx(serial / 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            parallel_response_estimate(0, 1)
+        with pytest.raises(ConfigError):
+            parallel_response_estimate(10, 0)
+        with pytest.raises(ConfigError):
+            parallel_response_estimate(10, 1, spacing=0.0)

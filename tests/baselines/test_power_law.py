@@ -1,0 +1,78 @@
+"""Tests for the power-law overlay and the §3.3 fragmentation claim."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.gnutella import GnutellaOverlay
+from repro.errors import TopologyError
+
+
+@pytest.fixture
+def rng():
+    return random.Random(77)
+
+
+class TestPowerLawConstruction:
+    def test_connected(self, rng):
+        overlay = GnutellaOverlay.power_law(200, attach=2, rng=rng)
+        assert len(overlay.flood_reach(0, ttl=200)) == 199
+
+    def test_heavy_tailed_degrees(self, rng):
+        overlay = GnutellaOverlay.power_law(500, attach=2, rng=rng)
+        degrees = overlay.degree_sequence()
+        # The hub's degree dwarfs the median — the power-law signature.
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] > 8 * median
+
+    def test_min_degree_respected(self, rng):
+        overlay = GnutellaOverlay.power_law(200, attach=3, rng=rng)
+        assert min(overlay.degree_sequence()) >= 3
+
+    def test_validation(self, rng):
+        with pytest.raises(TopologyError):
+            GnutellaOverlay.power_law(2, attach=1, rng=rng)
+        with pytest.raises(TopologyError):
+            GnutellaOverlay.power_law(10, attach=0, rng=rng)
+        with pytest.raises(TopologyError):
+            GnutellaOverlay.power_law(10, attach=10, rng=rng)
+
+
+class TestFragmentationClaim:
+    """§3.3: power-law Gnutella fragments under targeted hub removal;
+    degree-limited (near-regular) topologies are far more robust."""
+
+    @staticmethod
+    def _hubs(overlay, count):
+        by_degree = sorted(
+            range(overlay.n),
+            key=lambda v: -len(overlay.neighbors(v)),
+        )
+        return set(by_degree[:count])
+
+    def test_power_law_shatters_under_hub_removal(self, rng):
+        n = 400
+        power_law = GnutellaOverlay.power_law(n, attach=2, rng=rng)
+        regular = GnutellaOverlay(n, degree=4, rng=random.Random(78))
+        removed = n // 20  # top 5% by degree
+        pl_lcc = power_law.lcc_after_removal(self._hubs(power_law, removed))
+        reg_lcc = regular.lcc_after_removal(self._hubs(regular, removed))
+        # The paper's point: the weakness is the topology, not the
+        # protocol — capping degrees (near-regular graph) removes it.
+        assert pl_lcc < reg_lcc
+
+    def test_random_removal_is_benign_for_both(self, rng):
+        n = 400
+        overlay = GnutellaOverlay.power_law(n, attach=2, rng=rng)
+        doomed = set(random.Random(5).sample(range(n), n // 20))
+        assert overlay.lcc_after_removal(doomed) > 0.8 * n
+
+    def test_lcc_after_removing_everyone(self, rng):
+        overlay = GnutellaOverlay.power_law(10, attach=2, rng=rng)
+        assert overlay.lcc_after_removal(set(range(10))) == 0
+
+    def test_lcc_after_removing_nobody(self, rng):
+        overlay = GnutellaOverlay.power_law(50, attach=2, rng=rng)
+        assert overlay.lcc_after_removal(set()) == 50

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Wall-clock deadlines make property tests flaky on loaded CI boxes;
+# correctness, not per-example latency, is what these suites check.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.core.entry import CacheEntry
+from repro.core.params import ProtocolParams, SystemParams
+from repro.core.policies import PolicySet
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_system() -> SystemParams:
+    """A small, fast system configuration."""
+    return SystemParams(network_size=60, query_rate=0.05)
+
+
+@pytest.fixture
+def default_protocol() -> ProtocolParams:
+    """Table 2 defaults with a small cache for fast tests."""
+    return ProtocolParams(cache_size=20)
+
+
+@pytest.fixture
+def random_policies() -> PolicySet:
+    """An all-Random policy set."""
+    return PolicySet.from_protocol(ProtocolParams())
+
+
+def make_entry(
+    address: int, ts: float = 0.0, num_files: int = 0, num_res: int = 0
+) -> CacheEntry:
+    """Terse entry constructor used across cache/policy tests."""
+    return CacheEntry(
+        address=address, ts=ts, num_files=num_files, num_res=num_res
+    )

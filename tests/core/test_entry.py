@@ -1,0 +1,65 @@
+"""Tests for cache entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entry import CacheEntry
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        original = CacheEntry(address=1, ts=5.0, num_files=10, num_res=2)
+        duplicate = original.copy()
+        duplicate.ts = 99.0
+        duplicate.num_res = 7
+        assert original.ts == 5.0
+        assert original.num_res == 2
+
+    def test_copy_preserves_fields(self):
+        entry = CacheEntry(address=3, ts=1.5, num_files=42, num_res=6)
+        copy = entry.copy()
+        assert (copy.address, copy.ts, copy.num_files, copy.num_res) == (
+            3, 1.5, 42, 6,
+        )
+
+    def test_copy_for_import_resets_num_res(self):
+        entry = CacheEntry(address=1, ts=2.0, num_files=5, num_res=9)
+        imported = entry.copy_for_import(reset_num_results=True)
+        assert imported.num_res == 0
+        assert imported.num_files == 5  # only NumRes is distrusted
+
+    def test_copy_for_import_without_reset(self):
+        entry = CacheEntry(address=1, num_res=9)
+        assert entry.copy_for_import(reset_num_results=False).num_res == 9
+
+
+class TestTouch:
+    def test_touch_advances_ts(self):
+        entry = CacheEntry(address=1, ts=1.0)
+        entry.touch(5.0)
+        assert entry.ts == 5.0
+
+    def test_touch_is_monotone(self):
+        # Virtual probe timestamps can arrive out of order; TS must not
+        # roll back.
+        entry = CacheEntry(address=1, ts=10.0)
+        entry.touch(4.0)
+        assert entry.ts == 10.0
+
+
+class TestRecordResults:
+    def test_sets_num_res_and_ts(self):
+        entry = CacheEntry(address=1, ts=0.0, num_res=5)
+        entry.record_results(2, now=3.0)
+        assert entry.num_res == 2
+        assert entry.ts == 3.0
+
+    def test_zero_results_resets(self):
+        entry = CacheEntry(address=1, num_res=5)
+        entry.record_results(0, now=1.0)
+        assert entry.num_res == 0
+
+    def test_negative_results_rejected(self):
+        with pytest.raises(ValueError):
+            CacheEntry(address=1).record_results(-1, now=1.0)

@@ -1,0 +1,41 @@
+"""Tests for latency-model wiring into the full simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import ProtocolParams, SystemParams
+from repro.network.latency import pairwise_latency, uniform_latency
+
+
+def run_with_latency(latency, seed=8):
+    sim = GuessSimulation(
+        SystemParams(network_size=60, query_rate=0.05),
+        ProtocolParams(cache_size=15),
+        seed=seed,
+        latency=latency,
+    )
+    sim.run(400.0)
+    return sim.report()
+
+
+class TestLatencyIntegration:
+    def test_response_time_scales_with_rtt(self):
+        fast = run_with_latency(uniform_latency(0.001, 0.002, seed=1))
+        slow = run_with_latency(uniform_latency(0.15, 0.19, seed=1))
+        assert slow.mean_response_time > fast.mean_response_time
+
+    def test_probe_counts_unaffected_by_latency(self):
+        a = run_with_latency(uniform_latency(0.001, 0.002, seed=1))
+        b = run_with_latency(uniform_latency(0.15, 0.19, seed=1))
+        # Latency prices the round trip; it must not change what gets
+        # probed (same seed, same decisions).
+        assert a.total_probes == b.total_probes
+        assert a.queries == b.queries
+        assert a.satisfied_queries == b.satisfied_queries
+
+    def test_pairwise_model_works_in_simulation(self):
+        report = run_with_latency(pairwise_latency(0.01, 0.1, seed=2))
+        assert report.queries > 0
+        assert report.mean_response_time is None or report.mean_response_time > 0

@@ -1,0 +1,138 @@
+"""Tests for malicious peers and the attack directory."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.malicious import (
+    FAKE_NUM_FILES,
+    FAKE_NUM_RES,
+    AttackDirectory,
+    MaliciousPeer,
+)
+from repro.core.messages import Ping, Query
+from repro.core.params import BadPongBehavior
+from tests.core.helpers import make_malicious_peer
+
+
+@pytest.fixture
+def rng():
+    return random.Random(31)
+
+
+class TestAttackDirectory:
+    def test_birth_and_death_rosters(self):
+        directory = AttackDirectory()
+        directory.record_birth(1, malicious=False)
+        directory.record_birth(2, malicious=True)
+        assert directory.live_good == {1}
+        assert directory.live_malicious == {2}
+        directory.record_death(2)
+        assert directory.live_malicious == set()
+        assert directory.dead_addresses == [2]
+
+    def test_sample_dead_uses_ghosts_before_any_death(self, rng):
+        directory = AttackDirectory(ghost_addresses=[100, 101])
+        picks = directory.sample_dead(rng, 5)
+        assert len(picks) == 5
+        assert set(picks) <= {100, 101}
+
+    def test_sample_dead_prefers_real_corpses(self, rng):
+        directory = AttackDirectory(ghost_addresses=[100])
+        directory.record_death(7)
+        assert set(directory.sample_dead(rng, 4)) == {7}
+
+    def test_sample_dead_empty_without_ghosts(self, rng):
+        assert AttackDirectory().sample_dead(rng, 3) == []
+
+    def test_sample_malicious_excludes_self(self, rng):
+        directory = AttackDirectory()
+        for a in (1, 2, 3):
+            directory.record_birth(a, malicious=True)
+        picks = directory.sample_malicious(rng, 10, exclude=2)
+        assert 2 not in picks
+        assert set(picks) == {1, 3}
+
+    def test_sample_malicious_subset(self, rng):
+        directory = AttackDirectory()
+        for a in range(10):
+            directory.record_birth(a, malicious=True)
+        picks = directory.sample_malicious(rng, 3, exclude=0)
+        assert len(picks) == 3
+        assert len(set(picks)) == 3
+
+    def test_sample_good(self, rng):
+        directory = AttackDirectory()
+        directory.record_birth(1, malicious=False)
+        directory.record_birth(2, malicious=False)
+        assert set(directory.sample_good(rng, 10)) == {1, 2}
+
+    def test_sample_zero(self, rng):
+        directory = AttackDirectory(ghost_addresses=[1])
+        assert directory.sample_dead(rng, 0) == []
+        assert directory.sample_malicious(rng, 0, exclude=0) == []
+        assert directory.sample_good(rng, 0) == []
+
+
+class TestMaliciousPeer:
+    def test_advertises_fake_files(self):
+        peer = make_malicious_peer(1)
+        assert peer.num_files == FAKE_NUM_FILES
+        assert peer.malicious is True
+
+    def test_returns_no_results(self):
+        peer = make_malicious_peer(1)
+        _, reply = peer.receive_probe(Query(sender=2, target_file=1), 1.0)
+        assert reply.num_results == 0
+
+    def test_dead_behavior_pong(self):
+        directory = AttackDirectory(ghost_addresses=[900])
+        directory.record_death(55)
+        peer = make_malicious_peer(
+            1, behavior=BadPongBehavior.DEAD, directory=directory
+        )
+        _, pong = peer.receive_probe(Ping(sender=2), 1.0)
+        assert pong.entries
+        assert all(e.address == 55 for e in pong.entries)
+        assert all(e.num_files == FAKE_NUM_FILES for e in pong.entries)
+        assert all(e.num_res == FAKE_NUM_RES for e in pong.entries)
+
+    def test_bad_behavior_pong_points_at_accomplices(self):
+        directory = AttackDirectory()
+        for a in (10, 11, 12):
+            directory.record_birth(a, malicious=True)
+        peer = make_malicious_peer(
+            10, behavior=BadPongBehavior.BAD, directory=directory
+        )
+        _, pong = peer.receive_probe(Ping(sender=2), 1.0)
+        addresses = {e.address for e in pong.entries}
+        assert addresses <= {11, 12}
+        assert 10 not in addresses
+
+    def test_good_behavior_pong_points_at_good_peers(self):
+        directory = AttackDirectory()
+        directory.record_birth(5, malicious=False)
+        peer = make_malicious_peer(
+            1, behavior=BadPongBehavior.GOOD, directory=directory
+        )
+        _, pong = peer.receive_probe(Ping(sender=2), 1.0)
+        assert {e.address for e in pong.entries} == {5}
+
+    def test_poisoned_entries_look_fresh(self):
+        directory = AttackDirectory(ghost_addresses=[99])
+        peer = make_malicious_peer(
+            1, behavior=BadPongBehavior.DEAD, directory=directory
+        )
+        _, pong = peer.receive_probe(Ping(sender=2), 42.0)
+        assert all(e.ts == 42.0 for e in pong.entries)
+
+    def test_query_reply_carries_poisoned_pong(self):
+        directory = AttackDirectory(ghost_addresses=[99])
+        peer = make_malicious_peer(
+            1, behavior=BadPongBehavior.DEAD, directory=directory
+        )
+        _, reply = peer.receive_probe(Query(sender=2, target_file=3), 1.0)
+        assert reply.num_results == 0
+        assert all(e.address == 99 for e in reply.pong.entries)

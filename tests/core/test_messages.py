@@ -1,0 +1,43 @@
+"""Tests for wire messages."""
+
+from __future__ import annotations
+
+from repro.core.messages import Ping, Pong, Query, QueryReply, Refusal
+from tests.conftest import make_entry
+
+
+class TestMessages:
+    def test_ping_fields(self):
+        ping = Ping(sender=3, sender_num_files=7)
+        assert ping.sender == 3
+        assert ping.sender_num_files == 7
+
+    def test_query_fields(self):
+        query = Query(sender=1, target_file=42, sender_num_files=5)
+        assert query.target_file == 42
+
+    def test_pong_coerces_entries_to_tuple(self):
+        pong = Pong(sender=1, entries=[make_entry(2), make_entry(3)])
+        assert isinstance(pong.entries, tuple)
+        assert [e.address for e in pong.entries] == [2, 3]
+
+    def test_pong_default_empty(self):
+        assert Pong(sender=1).entries == ()
+
+    def test_query_reply_carries_pong(self):
+        pong = Pong(sender=2, entries=(make_entry(9),))
+        reply = QueryReply(sender=2, num_results=1, pong=pong)
+        assert reply.num_results == 1
+        assert reply.pong.entries[0].address == 9
+
+    def test_refusal(self):
+        assert Refusal(sender=5).sender == 5
+
+    def test_messages_are_frozen(self):
+        ping = Ping(sender=1)
+        try:
+            ping.sender = 2
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,173 @@
+"""Tests for the policy framework and concrete policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.policies import (
+    REPLACEMENT_KEY_POLICY,
+    PolicySet,
+    get_ordering_policy,
+    get_replacement_policy,
+    registered_policy_names,
+)
+from repro.errors import PolicyError
+from tests.conftest import make_entry
+
+
+@pytest.fixture
+def rng():
+    return random.Random(17)
+
+
+@pytest.fixture
+def entries():
+    """Entries with distinguishable fields for every policy."""
+    return [
+        make_entry(1, ts=10.0, num_files=500, num_res=0),
+        make_entry(2, ts=50.0, num_files=5, num_res=3),
+        make_entry(3, ts=30.0, num_files=100, num_res=1),
+        make_entry(4, ts=5.0, num_files=50, num_res=2),
+    ]
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert registered_policy_names() == ["LRU", "MFS", "MR", "MRU", "Random"]
+
+    def test_unknown_ordering_policy(self):
+        with pytest.raises(PolicyError):
+            get_ordering_policy("bogus")
+
+    def test_unknown_replacement_policy(self):
+        with pytest.raises(PolicyError):
+            get_replacement_policy("bogus")
+
+    def test_star_resolves_to_base(self):
+        assert get_ordering_policy("MR*").name == "MR"
+
+    def test_replacement_reversal_table(self):
+        # Replacement names are what gets *evicted*; the key policy is
+        # the retain-goal's ordering.
+        assert REPLACEMENT_KEY_POLICY["LFS"] == "MFS"
+        assert REPLACEMENT_KEY_POLICY["LR"] == "MR"
+        assert REPLACEMENT_KEY_POLICY["LRU"] == "MRU"
+        assert REPLACEMENT_KEY_POLICY["MRU"] == "LRU"
+
+
+class TestOrderingSemantics:
+    def test_mru_prefers_recent(self, entries, rng):
+        policy = get_ordering_policy("MRU")
+        assert policy.select_best(entries, 100.0, rng).address == 2
+
+    def test_lru_prefers_stale(self, entries, rng):
+        policy = get_ordering_policy("LRU")
+        assert policy.select_best(entries, 100.0, rng).address == 4
+
+    def test_mfs_prefers_many_files(self, entries, rng):
+        policy = get_ordering_policy("MFS")
+        assert policy.select_best(entries, 100.0, rng).address == 1
+
+    def test_mr_prefers_many_results(self, entries, rng):
+        policy = get_ordering_policy("MR")
+        assert policy.select_best(entries, 100.0, rng).address == 2
+
+    def test_order_is_sorted_by_key(self, entries, rng):
+        policy = get_ordering_policy("MFS")
+        ordered = policy.order(entries, 100.0, rng)
+        assert [e.address for e in ordered] == [1, 3, 4, 2]
+
+    def test_select_top_k(self, entries, rng):
+        policy = get_ordering_policy("MFS")
+        top2 = policy.select_top(entries, 2, 100.0, rng)
+        assert [e.address for e in top2] == [1, 3]
+
+    def test_select_top_zero(self, entries, rng):
+        assert get_ordering_policy("MFS").select_top(entries, 0, 0.0, rng) == []
+
+    def test_select_best_empty(self, rng):
+        assert get_ordering_policy("MFS").select_best([], 0.0, rng) is None
+
+    def test_deterministic_tiebreak_on_address(self, rng):
+        policy = get_ordering_policy("MFS")
+        tied = [make_entry(7, num_files=10), make_entry(3, num_files=10)]
+        assert policy.select_best(tied, 0.0, rng).address == 3
+
+
+class TestEvictionSemantics:
+    def test_lfs_evicts_fewest_files(self, entries, rng):
+        policy = get_replacement_policy("LFS")
+        assert policy.choose_victim(entries, 100.0, rng).address == 2
+
+    def test_lr_evicts_fewest_results(self, entries, rng):
+        policy = get_replacement_policy("LR")
+        assert policy.choose_victim(entries, 100.0, rng).address == 1
+
+    def test_lru_evicts_stalest(self, entries, rng):
+        policy = get_replacement_policy("LRU")
+        assert policy.choose_victim(entries, 100.0, rng).address == 4
+
+    def test_mru_evicts_freshest(self, entries, rng):
+        policy = get_replacement_policy("MRU")
+        assert policy.choose_victim(entries, 100.0, rng).address == 2
+
+    def test_choose_victim_empty(self, rng):
+        assert get_replacement_policy("LFS").choose_victim([], 0.0, rng) is None
+
+
+class TestRandomPolicy:
+    def test_randomized_flag(self):
+        assert get_ordering_policy("Random").randomized is True
+        assert get_ordering_policy("MFS").randomized is False
+
+    def test_select_best_uniform(self, entries):
+        policy = get_ordering_policy("Random")
+        rng = random.Random(0)
+        picks = {policy.select_best(entries, 0.0, rng).address for _ in range(200)}
+        assert picks == {1, 2, 3, 4}
+
+    def test_order_is_permutation(self, entries):
+        policy = get_ordering_policy("Random")
+        ordered = policy.order(entries, 0.0, random.Random(1))
+        assert sorted(e.address for e in ordered) == [1, 2, 3, 4]
+
+    def test_select_top_k_distinct(self, entries):
+        policy = get_ordering_policy("Random")
+        top = policy.select_top(entries, 3, 0.0, random.Random(2))
+        addresses = [e.address for e in top]
+        assert len(addresses) == 3
+        assert len(set(addresses)) == 3
+
+    def test_select_top_k_larger_than_pool(self, entries):
+        policy = get_ordering_policy("Random")
+        top = policy.select_top(entries, 10, 0.0, random.Random(3))
+        assert sorted(e.address for e in top) == [1, 2, 3, 4]
+
+    def test_victim_uniform(self, entries):
+        policy = get_replacement_policy("Random")
+        rng = random.Random(4)
+        victims = {policy.choose_victim(entries, 0.0, rng).address for _ in range(200)}
+        assert victims == {1, 2, 3, 4}
+
+
+class TestPolicySet:
+    def test_from_protocol_default(self):
+        policies = PolicySet.from_protocol(ProtocolParams())
+        assert policies.query_probe.name == "Random"
+        assert policies.replacement.name == "Random"
+        assert policies.reset_num_results is False
+
+    def test_from_protocol_mfs_lfs(self):
+        policies = PolicySet.from_protocol(
+            ProtocolParams(query_pong="MFS", cache_replacement="LFS")
+        )
+        assert policies.query_pong.name == "MFS"
+        assert policies.replacement.name == "MFS"  # LFS key = MFS ordering
+
+    def test_from_protocol_star_sets_reset(self):
+        policies = PolicySet.from_protocol(ProtocolParams(query_probe="MR*"))
+        assert policies.query_probe.name == "MR"
+        assert policies.reset_num_results is True

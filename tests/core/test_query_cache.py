@@ -1,0 +1,67 @@
+"""Tests for the per-query scratch cache."""
+
+from __future__ import annotations
+
+from repro.core.query_cache import QueryCache
+from tests.conftest import make_entry
+
+
+class TestAdmission:
+    def test_add_and_lookup(self):
+        cache = QueryCache(owner=0)
+        assert cache.add(make_entry(1))
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_owner_never_admitted(self):
+        cache = QueryCache(owner=7)
+        assert not cache.add(make_entry(7))
+
+    def test_excluded_addresses_never_admitted(self):
+        cache = QueryCache(owner=0, excluded={3, 4})
+        assert not cache.add(make_entry(3))
+        assert cache.add(make_entry(5))
+
+    def test_duplicate_not_readmitted(self):
+        cache = QueryCache(owner=0)
+        assert cache.add(make_entry(1))
+        assert not cache.add(make_entry(1))
+        assert len(cache) == 1
+
+    def test_seen_address_not_admitted(self):
+        cache = QueryCache(owner=0)
+        cache.mark_seen(9)
+        assert not cache.add(make_entry(9))
+        assert cache.was_seen(9)
+
+
+class TestConsumption:
+    def test_pop_removes_and_marks_seen(self):
+        cache = QueryCache(owner=0)
+        cache.add(make_entry(1))
+        entry = cache.pop(1)
+        assert entry.address == 1
+        assert 1 not in cache
+        assert not cache.add(make_entry(1))  # seen now
+
+    def test_pop_missing_returns_none(self):
+        assert QueryCache(owner=0).pop(5) is None
+
+    def test_entries_and_addresses(self):
+        cache = QueryCache(owner=0)
+        cache.add(make_entry(2))
+        cache.add(make_entry(4))
+        assert sorted(e.address for e in cache.entries()) == [2, 4]
+        assert sorted(cache.addresses()) == [2, 4]
+
+    def test_clear_resets_everything(self):
+        cache = QueryCache(owner=0, excluded={3})
+        cache.add(make_entry(1))
+        cache.mark_seen(9)
+        cache.clear()
+        assert len(cache) == 0
+        # After clear (query over) the scratch space is reusable; only the
+        # owner stays excluded.
+        assert cache.add(make_entry(9))
+        assert cache.add(make_entry(3))
+        assert not cache.add(make_entry(0))

@@ -1,0 +1,271 @@
+"""Tests for the query-execution loop."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.search import CandidatePool, execute_query
+from repro.core.policies import get_ordering_policy
+from repro.network.transport import Transport
+from tests.conftest import make_entry
+from tests.core.helpers import make_peer
+
+
+@pytest.fixture
+def rng():
+    return random.Random(13)
+
+
+def wire(querier, others, protocol_timeout=0.2):
+    """Register peers on a fresh transport."""
+    transport = Transport(timeout=protocol_timeout)
+    transport.register(querier.address, querier)
+    for peer in others:
+        transport.register(peer.address, peer)
+    return transport
+
+
+def cache_entries_for(querier, peers):
+    """Put entries for ``peers`` into the querier's link cache."""
+    for peer in peers:
+        querier.link_cache.insert(
+            make_entry(peer.address, num_files=peer.num_files),
+            querier.policies.replacement,
+            0.0,
+            querier._policy_rng,
+        )
+
+
+class TestCandidatePool:
+    def test_key_policy_pops_best_first(self, rng):
+        pool = CandidatePool(get_ordering_policy("MFS"), rng, 0.0)
+        pool.add(make_entry(1, num_files=5))
+        pool.add(make_entry(2, num_files=50))
+        pool.add(make_entry(3, num_files=20))
+        assert [pool.pop().address for _ in range(3)] == [2, 3, 1]
+        assert pool.pop() is None
+
+    def test_random_policy_pops_everything(self, rng):
+        pool = CandidatePool(get_ordering_policy("Random"), rng, 0.0)
+        for a in range(10):
+            pool.add(make_entry(a))
+        popped = {pool.pop().address for _ in range(10)}
+        assert popped == set(range(10))
+        assert pool.pop() is None
+
+    def test_len(self, rng):
+        pool = CandidatePool(get_ordering_policy("MR"), rng, 0.0)
+        pool.add(make_entry(1))
+        pool.add(make_entry(2))
+        assert len(pool) == 2
+        pool.pop()
+        assert len(pool) == 1
+
+    def test_dynamic_insert_during_pops(self, rng):
+        pool = CandidatePool(get_ordering_policy("MFS"), rng, 0.0)
+        pool.add(make_entry(1, num_files=10))
+        assert pool.pop().address == 1
+        pool.add(make_entry(2, num_files=99))
+        assert pool.pop().address == 2
+
+
+class TestQueryBasics:
+    def test_satisfied_on_first_owner(self, rng):
+        querier = make_peer(0, library=frozenset())
+        owner = make_peer(1, library=frozenset({42}))
+        transport = wire(querier, [owner])
+        cache_entries_for(querier, [owner])
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.satisfied
+        assert result.results == 1
+        assert result.probes == 1
+        assert result.good_probes == 1
+        assert result.response_time is not None
+
+    def test_unsatisfied_when_nobody_owns(self, rng):
+        querier = make_peer(0, library=frozenset())
+        others = [make_peer(i, library=frozenset({7})) for i in (1, 2, 3)]
+        transport = wire(querier, others)
+        cache_entries_for(querier, others)
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert not result.satisfied
+        assert result.probes == 3
+        assert result.pool_exhausted
+        assert result.response_time is None
+
+    def test_empty_cache_means_zero_probes(self, rng):
+        querier = make_peer(0)
+        transport = wire(querier, [])
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.probes == 0
+        assert not result.satisfied
+
+    def test_dead_target_counted_and_evicted(self, rng):
+        querier = make_peer(0)
+        dead = make_peer(1, death_time=5.0)
+        transport = wire(querier, [dead])
+        cache_entries_for(querier, [dead])
+        result = execute_query(querier, 42, transport, 10.0, rng=rng)
+        assert result.dead_probes == 1
+        assert 1 not in querier.link_cache
+
+    def test_desired_results_greater_than_one(self, rng):
+        querier = make_peer(0, library=frozenset())
+        owners = [make_peer(i, library=frozenset({42})) for i in (1, 2, 3)]
+        transport = wire(querier, owners)
+        cache_entries_for(querier, owners)
+        result = execute_query(
+            querier, 42, transport, 0.0, rng=rng, desired_results=2
+        )
+        assert result.satisfied
+        assert result.results == 2
+        assert result.probes == 2
+
+    def test_max_probes_cap(self, rng):
+        querier = make_peer(0, library=frozenset())
+        others = [make_peer(i, library=frozenset()) for i in range(1, 9)]
+        transport = wire(querier, others)
+        cache_entries_for(querier, others)
+        result = execute_query(
+            querier, 42, transport, 0.0, rng=rng, max_probes=3
+        )
+        assert result.probes == 3
+        assert not result.satisfied
+        assert not result.pool_exhausted
+
+
+class TestPongChaining:
+    def test_query_cache_extends_reach(self, rng):
+        """The querier only caches peer 1, but 1's pong points at owner 2."""
+        protocol = ProtocolParams(cache_size=10, pong_size=5)
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        relay = make_peer(1, protocol=protocol, library=frozenset())
+        owner = make_peer(2, protocol=protocol, library=frozenset({42}))
+        relay.link_cache.insert(
+            make_entry(2, num_files=5),
+            relay.policies.replacement, 0.0, relay._policy_rng,
+        )
+        transport = wire(querier, [relay, owner])
+        cache_entries_for(querier, [relay])
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.satisfied
+        assert result.probes == 2
+
+    def test_no_duplicate_probes(self, rng):
+        """Pongs pointing back at probed/cached peers must not re-probe."""
+        protocol = ProtocolParams(cache_size=10, pong_size=5)
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        a = make_peer(1, protocol=protocol, library=frozenset())
+        b = make_peer(2, protocol=protocol, library=frozenset())
+        # a and b point at each other: the pong chain cycles.
+        a.link_cache.insert(make_entry(2), a.policies.replacement, 0.0, a._policy_rng)
+        b.link_cache.insert(make_entry(1), b.policies.replacement, 0.0, b._policy_rng)
+        transport = wire(querier, [a, b])
+        cache_entries_for(querier, [a, b])
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.probes == 2  # each probed exactly once
+
+    def test_productive_query_cache_entry_graduates(self, rng):
+        protocol = ProtocolParams(cache_size=10, pong_size=5)
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        relay = make_peer(1, protocol=protocol, library=frozenset())
+        owner = make_peer(2, protocol=protocol, library=frozenset({42}))
+        relay.link_cache.insert(
+            make_entry(2), relay.policies.replacement, 0.0, relay._policy_rng
+        )
+        transport = wire(querier, [relay, owner])
+        cache_entries_for(querier, [relay])
+        execute_query(querier, 42, transport, 0.0, rng=rng)
+        # The owner answered; it should now be in the querier's link cache
+        # with its NumRes recorded.
+        entry = querier.link_cache.get(2)
+        assert entry is not None
+        assert entry.num_res == 1
+
+
+class TestCapacityAndBackoff:
+    def _overloaded_pair(self, do_backoff):
+        protocol = ProtocolParams(cache_size=10, do_backoff=do_backoff)
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        busy = make_peer(1, protocol=protocol, max_probes_per_second=0)
+        transport = wire(querier, [busy])
+        cache_entries_for(querier, [busy])
+        return querier, busy, transport
+
+    def test_refused_probe_counted(self, rng):
+        querier, _, transport = self._overloaded_pair(do_backoff=False)
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.refused_probes == 1
+
+    def test_refusal_evicts_without_backoff(self, rng):
+        querier, _, transport = self._overloaded_pair(do_backoff=False)
+        execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert 1 not in querier.link_cache
+
+    def test_refusal_keeps_entry_with_backoff(self, rng):
+        querier, _, transport = self._overloaded_pair(do_backoff=True)
+        execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert 1 in querier.link_cache
+
+
+class TestTimingAndParallelism:
+    def test_serial_probe_spacing(self, rng):
+        protocol = ProtocolParams(cache_size=10, probe_spacing=0.2)
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        others = [make_peer(i, library=frozenset()) for i in range(1, 6)]
+        transport = wire(querier, others)
+        cache_entries_for(querier, others)
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.probes == 5
+        assert result.duration == pytest.approx(0.2 * 5)
+
+    def test_parallel_probes_shrink_duration(self, rng):
+        protocol = ProtocolParams(
+            cache_size=10, probe_spacing=0.2, parallel_probes=5
+        )
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        others = [make_peer(i, library=frozenset()) for i in range(1, 6)]
+        transport = wire(querier, others)
+        cache_entries_for(querier, others)
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        assert result.probes == 5
+        # 5 probes in one wave of 5 walkers: duration one spacing.
+        assert result.duration == pytest.approx(0.2)
+
+    def test_response_time_reflects_wave_position(self, rng):
+        protocol = ProtocolParams(
+            cache_size=10, probe_spacing=0.2, parallel_probes=2,
+            query_probe="MFS",
+        )
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        misses = [
+            make_peer(i, library=frozenset(), num_files=100 - i)
+            for i in range(1, 4)
+        ]
+        owner = make_peer(9, library=frozenset({42}), num_files=1)
+        transport = wire(querier, misses + [owner])
+        cache_entries_for(querier, misses + [owner])
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        # Owner has fewest files -> probed last (4th probe, wave index 1).
+        assert result.satisfied
+        assert result.response_time == pytest.approx(0.2 + transport._latency(0, 9))
+
+    def test_probe_timestamps_respect_mid_query_death(self, rng):
+        """A peer dying between waves must not answer a later probe."""
+        protocol = ProtocolParams(
+            cache_size=10, probe_spacing=1.0, query_probe="MFS"
+        )
+        querier = make_peer(0, protocol=protocol, library=frozenset())
+        early = make_peer(1, library=frozenset(), num_files=100)
+        dies_mid_query = make_peer(
+            2, library=frozenset({42}), num_files=1, death_time=0.5
+        )
+        transport = wire(querier, [early, dies_mid_query])
+        cache_entries_for(querier, [early, dies_mid_query])
+        result = execute_query(querier, 42, transport, 0.0, rng=rng)
+        # Probe to peer 2 happens at t=1.0 > death at 0.5 -> dead probe.
+        assert not result.satisfied
+        assert result.dead_probes == 1

@@ -1,0 +1,111 @@
+"""Tests for experiment result assembly (no simulations).
+
+The cache-size and capacity experiment modules accept precomputed sweep
+dictionaries, so their table/series assembly logic can be verified
+instantly with synthetic sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cache_size, capacity
+from repro.experiments.profiles import Profile
+
+PROFILE = Profile(
+    name="assembly",
+    duration=1.0,
+    warmup=0.0,
+    trials=1,
+    network_sizes=(100, 200),
+    reference_size=200,
+    cache_sizes=(10, 20),
+    ping_intervals=(10.0,),
+    baseline_queries=10,
+    max_extent=10,
+)
+
+
+def cache_cell(probes, unsat, dead=1.0, good=None, fraction=0.5, absolute=5.0):
+    good = probes - dead if good is None else good
+    return {
+        "probes_per_query": probes,
+        "good_per_query": good,
+        "dead_per_query": dead,
+        "unsatisfied": unsat,
+        "fraction_live": fraction,
+        "absolute_live": absolute,
+        "cache_fill": 10.0,
+    }
+
+
+@pytest.fixture
+def cache_sweep():
+    return {
+        (100, 10): cache_cell(20.0, 0.10),
+        (100, 20): cache_cell(30.0, 0.08),
+        (200, 10): cache_cell(25.0, 0.12, fraction=0.8, absolute=8.0),
+        (200, 20): cache_cell(40.0, 0.09, fraction=0.6, absolute=12.0),
+    }
+
+
+class TestCacheSizeAssembly:
+    def test_fig3_series_grouped_by_network(self, cache_sweep):
+        result = cache_size.run_fig3(PROFILE, cache_sweep)
+        assert set(result.series) == {"N=100", "N=200"}
+        assert result.series["N=100"] == [(10, 20.0), (20, 30.0)]
+
+    def test_fig4_uses_unsat_metric(self, cache_sweep):
+        result = cache_size.run_fig4(PROFILE, cache_sweep)
+        assert result.series["N=200"] == [(10, 0.12), (20, 0.09)]
+
+    def test_fig5_uses_reference_size_only(self, cache_sweep):
+        result = cache_size.run_fig5(PROFILE, cache_sweep)
+        assert result.series["Dead"] == [(10, 1.0), (20, 1.0)]
+        assert result.series["Good"] == [(10, 24.0), (20, 39.0)]
+
+    def test_table3_rows_from_reference_size(self, cache_sweep):
+        result = cache_size.run_table3(PROFILE, cache_sweep)
+        assert result.rows == ((10, 0.8, 8.0), (20, 0.6, 12.0))
+
+    def test_table3_skips_missing_cells(self):
+        result = cache_size.run_table3(PROFILE, {(200, 10): cache_cell(1, 0.1)})
+        assert len(result.rows) == 1
+
+    def test_hash_seed_stable_and_distinct(self):
+        assert cache_size.hash_seed(100, 10) == cache_size.hash_seed(100, 10)
+        assert cache_size.hash_seed(100, 10) != cache_size.hash_seed(100, 20)
+        assert cache_size.hash_seed(100, 10) != cache_size.hash_seed(200, 10)
+
+
+@pytest.fixture
+def capacity_sweep():
+    cells = {}
+    for n in (100, 200):
+        for cap in (50, 1):
+            cells[(n, cap)] = {
+                "good": 10.0,
+                "refused": 0.5 if cap == 1 else 0.0,
+                "dead": 1.0,
+                "unsat": 0.1,
+            }
+    return cells
+
+
+class TestCapacityAssembly:
+    def test_fig14_rows_ordered_by_size_then_capacity_desc(self, capacity_sweep):
+        result = capacity.run_fig14(PROFILE, capacity_sweep)
+        keys = [(row[0], row[1]) for row in result.rows]
+        assert keys == [(100, 50), (100, 1), (200, 50), (200, 1)]
+
+    def test_fig14_columns(self, capacity_sweep):
+        result = capacity.run_fig14(PROFILE, capacity_sweep)
+        assert result.columns[2:] == (
+            "Good/Query", "Refused/Query", "DeadIPs/Query",
+        )
+
+    def test_fig15_series_per_network(self, capacity_sweep):
+        result = capacity.run_fig15(PROFILE, capacity_sweep)
+        assert set(result.series) == {"N=100", "N=200"}
+        for points in result.series.values():
+            assert [x for x, _ in points] == [1.0, 50.0]

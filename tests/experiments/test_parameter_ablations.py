@@ -1,0 +1,64 @@
+"""Micro-scale tests for the parameter-ablation producers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.profiles import Profile
+
+MICRO = Profile(
+    name="micro-param",
+    duration=200.0,
+    warmup=50.0,
+    trials=1,
+    network_sizes=(60,),
+    reference_size=60,
+    cache_sizes=(5,),
+    ping_intervals=(15.0,),
+    baseline_queries=50,
+    max_extent=60,
+)
+
+
+class TestPongSizeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_pong_size_ablation(MICRO)
+
+    def test_shape(self, result):
+        assert result.experiment_id == "ablation-pongsize"
+        assert [row[0] for row in result.rows] == list(ablations.PONG_SIZES)
+
+    def test_zero_sharing_starves_search(self, result):
+        rows = {size: row for size, *row in result.rows}
+        # Without pong sharing both reach (probes) and satisfaction
+        # collapse relative to the spec's PongSize 5.
+        assert rows[0][1] > rows[5][1]       # unsat worse
+        assert rows[0][0] < rows[5][0]       # almost nobody left to probe
+
+    def test_rates_valid(self, result):
+        for _, probes, unsat, fraction in result.rows:
+            assert probes >= 0
+            assert 0.0 <= unsat <= 1.0
+            assert 0.0 <= fraction <= 1.0
+
+
+class TestIntroProbAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_intro_prob_ablation(MICRO)
+
+    def test_shape(self, result):
+        assert result.experiment_id == "ablation-introprob"
+        assert [row[0] for row in result.rows] == list(ablations.INTRO_PROBS)
+
+    def test_cache_fill_grows_with_introduction(self, result):
+        rows = {p: row for p, *row in result.rows}
+        assert rows[0.5][2] >= rows[0.0][2]
+
+    def test_rates_valid(self, result):
+        for _, probes, unsat, fill in result.rows:
+            assert probes >= 0
+            assert 0.0 <= unsat <= 1.0
+            assert fill >= 0.0

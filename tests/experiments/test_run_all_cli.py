@@ -1,0 +1,45 @@
+"""Tests for the run_all CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.run_all import (
+    EXPERIMENT_SUITE,
+    SUITES,
+    resolve_suites,
+)
+
+
+class TestResolveSuites:
+    def test_default_is_everything(self):
+        assert resolve_suites(None) == list(SUITES)
+        assert resolve_suites([]) == list(SUITES)
+
+    def test_suite_name_passthrough(self):
+        assert resolve_suites(["fairness"]) == ["fairness"]
+
+    def test_experiment_id_maps_to_suite(self):
+        assert resolve_suites(["fig8"]) == ["flexible_extent"]
+        assert resolve_suites(["table3"]) == ["cache_size"]
+
+    def test_duplicates_collapse(self):
+        assert resolve_suites(["fig3", "fig4", "cache_size"]) == ["cache_size"]
+
+    def test_order_preserved(self):
+        assert resolve_suites(["fig13", "fig8"]) == [
+            "fairness", "flexible_extent",
+        ]
+
+    def test_unknown_token_exits(self):
+        with pytest.raises(SystemExit):
+            resolve_suites(["fig99"])
+
+
+class TestCoverage:
+    def test_every_paper_artifact_mapped(self):
+        expected = {"table3"} | {f"fig{i}" for i in range(3, 22)}
+        assert set(EXPERIMENT_SUITE) == expected
+
+    def test_all_mapped_suites_exist(self):
+        assert set(EXPERIMENT_SUITE.values()) <= set(SUITES)

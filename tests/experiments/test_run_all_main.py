@@ -1,0 +1,30 @@
+"""End-to-end test of the run_all CLI entry point (tiny scope)."""
+
+from __future__ import annotations
+
+from repro.experiments.run_all import main
+
+
+class TestMain:
+    def test_single_suite_with_output_file(self, tmp_path, capsys):
+        output = tmp_path / "results.txt"
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--output", str(output),
+        ])
+        assert code == 0
+        text = output.read_text()
+        assert "fig8" in text
+        assert "FixedExtent(Gnutella)" in text
+        assert "total wall time" in text
+        # Also printed to stdout.
+        assert "fig8" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits(self):
+        try:
+            main(["--profile", "smoke", "--only", "fig99"])
+            raised = False
+        except SystemExit:
+            raised = True
+        assert raised

@@ -1,0 +1,206 @@
+"""End-to-end smoke tests: every experiment suite runs and produces the
+right experiment ids, columns, and series shapes at micro scale.
+
+These use a tiny in-test profile (far below the ``smoke`` registry
+profile) so the whole block stays fast; the *qualitative* paper shapes
+are asserted separately in the integration tests at larger scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    cache_size,
+    capacity,
+    fairness,
+    flexible_extent,
+    malicious,
+    ping_interval,
+    policy_comparison,
+)
+from repro.experiments.profiles import Profile
+
+MICRO = Profile(
+    name="micro",
+    duration=120.0,
+    warmup=30.0,
+    trials=1,
+    network_sizes=(60,),
+    reference_size=60,
+    cache_sizes=(5, 20),
+    ping_intervals=(15.0, 120.0),
+    baseline_queries=60,
+    max_extent=60,
+)
+
+
+class TestCacheSizeSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return cache_size.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == [
+            "table3", "fig3", "fig4", "fig5",
+        ]
+
+    def test_table3_rows(self, results):
+        table3 = results[0]
+        assert table3.columns == ("CacheSize", "Fraction Live", "Absolute Live")
+        for _, fraction, absolute in table3.rows:
+            assert 0.0 <= fraction <= 1.0
+            assert absolute >= 0.0
+
+    def test_fig3_series_per_network(self, results):
+        fig3 = results[1]
+        assert set(fig3.series) == {"N=60"}
+        assert len(fig3.series["N=60"]) == 2
+
+    def test_fig5_series(self, results):
+        fig5 = results[3]
+        assert set(fig5.series) == {"Dead", "Good"}
+
+
+class TestPingIntervalSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ping_interval.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == ["fig6", "fig7"]
+
+    def test_fig6_lcc_bounds(self, results):
+        for label, points in results[0].series.items():
+            for _, lcc in points:
+                assert 1 <= lcc <= 60
+
+    def test_fig7_relative_lcc(self, results):
+        for points in results[1].series.values():
+            for _, relative in points:
+                assert 0.0 < relative <= 1.0
+
+
+class TestFlexibleExtentSuite:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return flexible_extent.run_fig8(MICRO)
+
+    def test_id(self, result):
+        assert result.experiment_id == "fig8"
+
+    def test_mechanisms_present(self, result):
+        assert "FixedExtent(Gnutella)" in result.series
+        assert "IterativeDeepening" in result.series
+        assert "GUESS Random" in result.series
+        assert "GUESS QueryPong=MFS" in result.series
+
+    def test_fixed_extent_curve_monotone(self, result):
+        curve = result.series["FixedExtent(Gnutella)"]
+        rates = [u for _, u in curve]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_guess_cheaper_than_full_flood(self, result):
+        guess_cost, _ = result.series["GUESS Random"][0]
+        flood_costs = [c for c, _ in result.series["FixedExtent(Gnutella)"]]
+        assert guess_cost < max(flood_costs)
+
+
+class TestPolicyComparisonSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return policy_comparison.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == [
+            "fig9", "fig10", "fig11", "fig12",
+        ]
+
+    def test_policy_menus(self, results):
+        fig9, fig10, fig11, fig12 = results
+        assert [row[0] for row in fig9.rows] == list(
+            policy_comparison.ORDERING_POLICIES
+        )
+        assert [row[0] for row in fig11.rows] == list(
+            policy_comparison.REPLACEMENT_POLICIES
+        )
+
+    def test_probe_breakdown_consistent(self, results):
+        for result in results[:3]:
+            for row in result.rows:
+                _, good, dead, total = row
+                assert total == pytest.approx(good + dead, abs=1e-6)
+
+    def test_fig12_rates_valid(self, results):
+        for _, unsat in results[3].rows:
+            assert 0.0 <= unsat <= 1.0
+
+
+class TestFairnessSuite:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fairness.run_fig13(MICRO)
+
+    def test_id(self, result):
+        assert result.experiment_id == "fig13"
+
+    def test_all_combos_present(self, result):
+        expected = {f"{p}/{r}" for p, r in fairness.COMBOS}
+        assert set(result.series) == expected
+
+    def test_ranked_series_descending(self, result):
+        for points in result.series.values():
+            loads = [load for _, load in points]
+            assert loads == sorted(loads, reverse=True)
+
+    def test_summary_rows(self, result):
+        assert result.columns == ("Combo", "Total probes", "Top-1% share", "Gini")
+        for _, total, share, gini in result.rows:
+            assert total >= 0
+            assert 0.0 <= share <= 1.0
+            assert 0.0 <= gini <= 1.0
+
+
+class TestCapacitySuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return capacity.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == ["fig14", "fig15"]
+
+    def test_fig14_grid_complete(self, results):
+        rows = results[0].rows
+        assert len(rows) == len(MICRO.network_sizes) * len(capacity.CAPACITIES)
+
+    def test_fig15_series(self, results):
+        assert set(results[1].series) == {
+            f"N={n}" for n in MICRO.network_sizes
+        }
+
+
+class TestMaliciousSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return malicious.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == [
+            "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        ]
+
+    def test_each_figure_has_all_policies(self, results):
+        for result in results:
+            assert set(result.series) == set(malicious.POLICIES)
+
+    def test_unsat_rates_valid(self, results):
+        for result in (results[1], results[4]):  # fig17, fig20
+            for points in result.series.values():
+                for _, unsat in points:
+                    assert 0.0 <= unsat <= 1.0
+
+    def test_good_entries_nonnegative(self, results):
+        for result in (results[2], results[5]):  # fig18, fig21
+            for points in result.series.values():
+                for _, entries in points:
+                    assert entries >= 0.0

@@ -1,0 +1,109 @@
+"""Tests for the adaptive PingInterval controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.extensions.adaptive_ping import AdaptivePingController
+
+
+def feed(controller, dead_count, live_count):
+    for _ in range(dead_count):
+        controller.observe(dead=True)
+    for _ in range(live_count):
+        controller.observe(dead=False)
+
+
+class TestAdjustment:
+    def test_tightens_on_dead_probes(self):
+        controller = AdaptivePingController(60.0, window=10)
+        feed(controller, dead_count=5, live_count=5)  # 50% live < 80% target
+        assert controller.interval == pytest.approx(30.0)
+        assert controller.adjustments == 1
+
+    def test_relaxes_when_everything_lives(self):
+        controller = AdaptivePingController(60.0, window=10)
+        feed(controller, dead_count=0, live_count=10)
+        assert controller.interval == pytest.approx(75.0)
+
+    def test_holds_in_the_healthy_band(self):
+        controller = AdaptivePingController(
+            60.0, window=10, target_live_fraction=0.8, relax_threshold=0.95
+        )
+        feed(controller, dead_count=1, live_count=9)  # 90%: between bands
+        assert controller.interval == pytest.approx(60.0)
+        assert controller.adjustments == 0
+
+    def test_no_adjustment_before_window_fills(self):
+        controller = AdaptivePingController(60.0, window=10)
+        feed(controller, dead_count=5, live_count=4)  # only 9 outcomes
+        assert controller.interval == pytest.approx(60.0)
+
+    def test_window_resets_after_adjustment(self):
+        controller = AdaptivePingController(60.0, window=4)
+        feed(controller, 4, 0)   # -> 30
+        feed(controller, 0, 4)   # -> 37.5
+        assert controller.interval == pytest.approx(37.5)
+        assert controller.adjustments == 2
+
+
+class TestClamping:
+    def test_min_interval_floor(self):
+        controller = AdaptivePingController(10.0, window=2, min_interval=5.0)
+        for _ in range(10):
+            feed(controller, 2, 0)
+        assert controller.interval == 5.0
+
+    def test_max_interval_ceiling(self):
+        controller = AdaptivePingController(
+            500.0, window=2, max_interval=600.0
+        )
+        for _ in range(10):
+            feed(controller, 0, 2)
+        assert controller.interval == 600.0
+
+    def test_initial_clamped_into_band(self):
+        controller = AdaptivePingController(
+            1000.0, min_interval=5.0, max_interval=600.0
+        )
+        assert controller.interval == 600.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_interval": 0.0},
+            {"target_live_fraction": 0.0},
+            {"target_live_fraction": 1.0},
+            {"min_interval": 0.0},
+            {"min_interval": 100.0, "max_interval": 50.0},
+            {"window": 0},
+            {"tighten_factor": 1.0},
+            {"relax_factor": 1.0},
+            {"relax_threshold": 0.5},  # below the 0.8 target
+        ],
+    )
+    def test_rejects(self, kwargs):
+        defaults = {"initial_interval": 30.0}
+        defaults.update(kwargs)
+        with pytest.raises(ConfigError):
+            AdaptivePingController(**defaults)
+
+
+class TestClosedLoop:
+    def test_converges_under_heavy_churn(self):
+        """Against persistent 50% dead probes, the interval pins low."""
+        controller = AdaptivePingController(300.0, window=10)
+        for _ in range(20):
+            feed(controller, 5, 5)
+        assert controller.interval == controller.min_interval
+
+    def test_relaxation_is_slower_than_tightening(self):
+        """Safety asymmetry: one bad window undoes several good ones."""
+        controller = AdaptivePingController(60.0, window=10)
+        feed(controller, 0, 10)   # relax once
+        relaxed = controller.interval
+        feed(controller, 10, 0)   # tighten once
+        assert controller.interval < 60.0 < relaxed

@@ -1,0 +1,147 @@
+"""Tests for pong-provenance defense."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.errors import ConfigError
+from repro.extensions.detection import (
+    DefenseConfig,
+    PongDefense,
+    install_defense,
+)
+
+
+class TestDefenseConfig:
+    def test_defaults_valid(self):
+        DefenseConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_observations": 0},
+            {"dead_fraction_threshold": 0.0},
+            {"dead_fraction_threshold": 1.5},
+            {"barren_fraction_threshold": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            DefenseConfig(**kwargs)
+
+
+class TestDeadPongHeuristic:
+    def test_blacklists_dead_ip_spammer(self):
+        defense = PongDefense(DefenseConfig(min_observations=5))
+        for entry in range(100, 110):
+            defense.record_import(entry, source=7)
+            defense.record_dead(entry)
+        assert defense.blocked(7)
+
+    def test_tolerates_honest_source_with_some_dead(self):
+        defense = PongDefense(
+            DefenseConfig(min_observations=5, dead_fraction_threshold=0.6)
+        )
+        # 2 of 10 shared entries die — normal churn, not an attack.
+        for entry in range(100, 110):
+            defense.record_import(entry, source=7)
+        for entry in range(100, 102):
+            defense.record_dead(entry)
+        for entry in range(102, 110):
+            defense.record_answer(entry, num_results=1)
+        assert not defense.blocked(7)
+
+    def test_no_judgement_before_min_observations(self):
+        defense = PongDefense(DefenseConfig(min_observations=50))
+        for entry in range(100, 110):
+            defense.record_import(entry, source=7)
+            defense.record_dead(entry)
+        assert not defense.blocked(7)
+
+    def test_fate_charged_once(self):
+        defense = PongDefense(DefenseConfig(min_observations=1))
+        defense.record_import(100, source=7)
+        defense.record_dead(100)
+        stats_after_first = defense.source_stats(7)
+        defense.record_dead(100)  # second death report is a no-op
+        assert defense.source_stats(7) == stats_after_first
+
+    def test_multiple_sources_all_charged(self):
+        defense = PongDefense(DefenseConfig(min_observations=1))
+        defense.record_import(100, source=7)
+        defense.record_import(100, source=8)
+        defense.record_dead(100)
+        assert defense.source_stats(7)[1] == 1
+        assert defense.source_stats(8)[1] == 1
+
+
+class TestCliqueHeuristic:
+    def test_blacklists_barren_clique_source(self):
+        defense = PongDefense(
+            DefenseConfig(min_observations=5, barren_fraction_threshold=0.9)
+        )
+        # Source 9's referrals are alive but never return a result.
+        for entry in range(200, 210):
+            defense.record_import(entry, source=9)
+            defense.record_answer(entry, num_results=0)
+        assert defense.blocked(9)
+
+    def test_single_productive_referral_saves_source(self):
+        defense = PongDefense(
+            DefenseConfig(min_observations=5, barren_fraction_threshold=0.9)
+        )
+        # The productive referral lands early, so when the barren streak
+        # accumulates the clique rule (which requires *zero* productive
+        # referrals) never fires.
+        defense.record_import(299, source=9)
+        defense.record_answer(299, num_results=1)
+        for entry in range(200, 220):
+            defense.record_import(entry, source=9)
+            defense.record_answer(entry, num_results=0)
+        assert not defense.blocked(9)
+
+    def test_blacklisted_source_imports_ignored(self):
+        defense = PongDefense(DefenseConfig(min_observations=1))
+        defense.record_import(100, source=7)
+        defense.record_dead(100)
+        assert defense.blocked(7)
+        defense.record_import(101, source=7)
+        assert defense.source_stats(7)[0] == 1  # not incremented
+
+
+class TestEndToEndDefense:
+    @staticmethod
+    def _attacked_report(defended: bool):
+        system = SystemParams(
+            network_size=200,
+            percent_bad_peers=20.0,
+            bad_pong_behavior=BadPongBehavior.BAD,
+        )
+        protocol = ProtocolParams.all_same_policy("MR", cache_size=20)
+        sim = GuessSimulation(system, protocol, seed=19, warmup=200.0)
+        if defended:
+            install_defense(
+                sim, DefenseConfig(min_observations=5)
+            )
+        sim.run(900.0)
+        return sim.report()
+
+    def test_defense_preserves_satisfaction_under_collusion(self):
+        undefended = self._attacked_report(defended=False)
+        defended = self._attacked_report(defended=True)
+        assert defended.unsatisfied_rate < undefended.unsatisfied_rate - 0.05
+
+    def test_defense_installs_on_newborns(self):
+        system = SystemParams(
+            network_size=60, query_rate=0.0, lifespan_multiplier=0.05
+        )
+        sim = GuessSimulation(
+            system, ProtocolParams(cache_size=10), seed=3
+        )
+        install_defense(sim)
+        sim.run(1500.0)
+        newborns = [p for p in sim.live_peers if p.birth_time > 0]
+        assert newborns
+        assert all(p.defense is not None for p in newborns if not p.malicious)

@@ -1,0 +1,121 @@
+"""Tests for the metrics collector and simulation report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import QueryResult
+from repro.metrics.collectors import CacheHealthSample, MetricsCollector
+
+
+def query_result(
+    satisfied=True, probes=5, good=4, dead=1, refused=0, response_time=0.4
+):
+    return QueryResult(
+        satisfied=satisfied,
+        results=1 if satisfied else 0,
+        probes=probes,
+        good_probes=good,
+        dead_probes=dead,
+        refused_probes=refused,
+        duration=probes * 0.2,
+        response_time=response_time if satisfied else None,
+        pool_exhausted=not satisfied,
+    )
+
+
+class TestQueryAggregation:
+    def test_counts_and_means(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(probes=10, good=8, dead=2), 1.0)
+        collector.record_query(
+            query_result(satisfied=False, probes=20, good=15, dead=5), 2.0
+        )
+        report = collector.build_report()
+        assert report.queries == 2
+        assert report.satisfied_queries == 1
+        assert report.probes_per_query == pytest.approx(15.0)
+        assert report.good_probes_per_query == pytest.approx(11.5)
+        assert report.dead_probes_per_query == pytest.approx(3.5)
+        assert report.unsatisfied_rate == pytest.approx(0.5)
+        assert report.satisfaction_rate == pytest.approx(0.5)
+
+    def test_warmup_filters(self):
+        collector = MetricsCollector(warmup=10.0)
+        collector.record_query(query_result(), 5.0)
+        collector.record_query(query_result(), 15.0)
+        assert collector.build_report().queries == 1
+
+    def test_mean_response_time_over_satisfied_only(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(response_time=1.0), 1.0)
+        collector.record_query(query_result(satisfied=False), 1.0)
+        collector.record_query(query_result(response_time=3.0), 1.0)
+        assert collector.build_report().mean_response_time == pytest.approx(2.0)
+
+    def test_no_queries_report(self):
+        report = MetricsCollector().build_report()
+        assert report.probes_per_query == 0.0
+        assert report.unsatisfied_rate == 0.0
+        assert report.mean_response_time is None
+
+    def test_keep_queries_retains_records(self):
+        collector = MetricsCollector(keep_queries=True)
+        collector.record_query(query_result(), 1.0)
+        report = collector.build_report()
+        assert len(report.query_results) == 1
+
+    def test_default_drops_records(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(), 1.0)
+        assert collector.build_report().query_results == ()
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(warmup=-1.0)
+
+
+class TestPingAccounting:
+    def test_ping_fractions(self):
+        collector = MetricsCollector()
+        collector.record_ping(dead=True, time=1.0)
+        collector.record_ping(dead=False, time=1.0)
+        collector.record_ping(dead=False, time=1.0)
+        report = collector.build_report()
+        assert report.pings_sent == 3
+        assert report.dead_pings == 1
+        assert report.dead_ping_fraction == pytest.approx(1 / 3)
+
+    def test_ping_warmup(self):
+        collector = MetricsCollector(warmup=10.0)
+        collector.record_ping(dead=True, time=5.0)
+        assert collector.build_report().pings_sent == 0
+
+
+class TestLoadsAndHealth:
+    def test_harvest_accumulates(self):
+        collector = MetricsCollector()
+        collector.harvest_peer(1, 10, 2)
+        collector.harvest_peer(2, 5, 0)
+        report = collector.build_report()
+        assert report.loads == {1: 10, 2: 5}
+        assert report.refusals == {1: 2, 2: 0}
+        assert report.load_distribution().total == 15
+
+    def test_health_samples_respect_warmup(self):
+        collector = MetricsCollector(warmup=100.0)
+        early = CacheHealthSample(50.0, 0.5, 5.0, 5.0, 10.0)
+        late = CacheHealthSample(150.0, 0.9, 9.0, 9.0, 10.0)
+        collector.record_health_sample(early)
+        collector.record_health_sample(late)
+        report = collector.build_report()
+        assert len(report.health_samples) == 1
+        assert report.mean_fraction_live == pytest.approx(0.9)
+        assert report.mean_absolute_live == pytest.approx(9.0)
+        assert report.mean_good_entries == pytest.approx(9.0)
+        assert report.mean_cache_fill == pytest.approx(10.0)
+
+    def test_wasted_probe_fraction(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(probes=10, good=6, dead=4), 1.0)
+        assert collector.build_report().wasted_probe_fraction == pytest.approx(0.4)

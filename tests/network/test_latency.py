@@ -1,0 +1,93 @@
+"""Tests for the latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.latency import (
+    lognormal_latency,
+    pairwise_latency,
+    uniform_latency,
+)
+from repro.network.transport import Transport
+
+
+class TestUniformLatency:
+    def test_in_bounds(self):
+        model = uniform_latency(0.01, 0.2)
+        for _ in range(200):
+            assert 0.01 <= model(1, 2) <= 0.2
+
+    def test_seed_reproducible(self):
+        a = uniform_latency(0.0, 1.0, seed=5)
+        b = uniform_latency(0.0, 1.0, seed=5)
+        assert [a(1, 2) for _ in range(5)] == [b(1, 2) for _ in range(5)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            uniform_latency(-0.1, 1.0)
+        with pytest.raises(ConfigError):
+            uniform_latency(1.0, 0.5)
+
+
+class TestLognormalLatency:
+    def test_positive(self):
+        model = lognormal_latency(0.05)
+        assert all(model(1, 2) > 0 for _ in range(200))
+
+    def test_cap_respected(self):
+        model = lognormal_latency(0.05, sigma=2.0, cap=0.5)
+        assert all(model(1, 2) <= 0.5 for _ in range(500))
+
+    def test_median_roughly_respected(self):
+        model = lognormal_latency(0.05, sigma=0.5)
+        draws = sorted(model(1, 2) for _ in range(4000))
+        assert draws[2000] == pytest.approx(0.05, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            lognormal_latency(0.0)
+        with pytest.raises(ConfigError):
+            lognormal_latency(0.05, sigma=0.0)
+        with pytest.raises(ConfigError):
+            lognormal_latency(0.05, cap=0.01)
+
+
+class TestPairwiseLatency:
+    def test_deterministic_per_pair(self):
+        model = pairwise_latency(0.01, 0.3)
+        assert model(1, 2) == model(1, 2)
+
+    def test_symmetric(self):
+        model = pairwise_latency(0.01, 0.3)
+        assert model(1, 2) == model(2, 1)
+
+    def test_pairs_differ(self):
+        model = pairwise_latency(0.0, 1.0)
+        values = {model(1, other) for other in range(2, 30)}
+        assert len(values) > 20
+
+    def test_in_bounds(self):
+        model = pairwise_latency(0.05, 0.25)
+        for other in range(2, 100):
+            assert 0.05 <= model(1, other) <= 0.25
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            pairwise_latency(0.5, 0.1)
+
+
+class TestTransportIntegration:
+    def test_transport_accepts_custom_model(self):
+        class Echo:
+            def is_alive(self, t):
+                return True
+
+            def receive_probe(self, message, t):
+                return True, "ok"
+
+        transport = Transport(latency=pairwise_latency(0.07, 0.07))
+        transport.register(9, Echo())
+        outcome = transport.probe(1, 9, "x", 0.0)
+        assert outcome.rtt == pytest.approx(0.07)

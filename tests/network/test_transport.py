@@ -1,0 +1,106 @@
+"""Tests for the UDP-like probe transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.transport import (
+    ProbeStatus,
+    Transport,
+    constant_latency,
+)
+
+
+class FakeEndpoint:
+    """Scriptable endpoint for transport tests."""
+
+    def __init__(self, alive=True, accept=True, response="pong"):
+        self.alive = alive
+        self.accept = accept
+        self.response = response
+        self.received = []
+
+    def is_alive(self, time):
+        return self.alive
+
+    def receive_probe(self, message, time):
+        self.received.append((message, time))
+        return self.accept, self.response
+
+
+class TestDirectory:
+    def test_register_and_lookup(self):
+        transport = Transport()
+        endpoint = FakeEndpoint()
+        transport.register(5, endpoint)
+        assert transport.endpoint(5) is endpoint
+        assert len(transport) == 1
+
+    def test_double_register_rejected(self):
+        transport = Transport()
+        transport.register(5, FakeEndpoint())
+        with pytest.raises(ValueError):
+            transport.register(5, FakeEndpoint())
+
+    def test_unregister_idempotent(self):
+        transport = Transport()
+        transport.register(5, FakeEndpoint())
+        transport.unregister(5)
+        transport.unregister(5)
+        assert transport.endpoint(5) is None
+
+
+class TestProbing:
+    def test_delivered(self):
+        transport = Transport()
+        endpoint = FakeEndpoint(response="hello")
+        transport.register(9, endpoint)
+        outcome = transport.probe(1, 9, "msg", 10.0)
+        assert outcome.status is ProbeStatus.DELIVERED
+        assert outcome.delivered
+        assert outcome.response == "hello"
+        assert endpoint.received == [("msg", 10.0)]
+
+    def test_unregistered_times_out(self):
+        transport = Transport(timeout=0.2)
+        outcome = transport.probe(1, 42, "msg", 0.0)
+        assert outcome.status is ProbeStatus.TIMEOUT
+        assert outcome.rtt == pytest.approx(0.2)
+        assert not outcome.delivered
+
+    def test_dead_endpoint_times_out(self):
+        transport = Transport()
+        endpoint = FakeEndpoint(alive=False)
+        transport.register(9, endpoint)
+        outcome = transport.probe(1, 9, "msg", 0.0)
+        assert outcome.status is ProbeStatus.TIMEOUT
+        assert endpoint.received == []  # dead peers never see the probe
+
+    def test_refused(self):
+        transport = Transport()
+        transport.register(9, FakeEndpoint(accept=False, response="busy"))
+        outcome = transport.probe(1, 9, "msg", 0.0)
+        assert outcome.status is ProbeStatus.REFUSED
+        assert outcome.response == "busy"
+
+    def test_latency_model_applied(self):
+        transport = Transport(latency=constant_latency(0.07))
+        transport.register(9, FakeEndpoint())
+        outcome = transport.probe(1, 9, "msg", 0.0)
+        assert outcome.rtt == pytest.approx(0.07)
+
+    def test_counters(self):
+        transport = Transport()
+        transport.register(9, FakeEndpoint())
+        transport.probe(1, 9, "a", 0.0)
+        transport.probe(1, 10, "b", 0.0)
+        assert transport.probes_sent == 2
+        assert transport.timeouts == 1
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            Transport(timeout=0.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            constant_latency(-0.1)

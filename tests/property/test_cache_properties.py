@@ -1,0 +1,96 @@
+"""Property-based tests for the link cache and query cache."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entry import CacheEntry
+from repro.core.link_cache import LinkCache
+from repro.core.policies import get_replacement_policy
+from repro.core.query_cache import QueryCache
+
+entry_strategy = st.builds(
+    CacheEntry,
+    address=st.integers(min_value=0, max_value=50),
+    ts=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    num_files=st.integers(min_value=0, max_value=10_000),
+    num_res=st.integers(min_value=0, max_value=100),
+)
+
+replacement_names = st.sampled_from(["Random", "LRU", "MRU", "LFS", "LR"])
+
+
+@given(
+    st.lists(entry_strategy, max_size=80),
+    st.integers(min_value=1, max_value=10),
+    replacement_names,
+)
+@settings(max_examples=80)
+def test_link_cache_invariants(entries, capacity, replacement_name):
+    """Size <= capacity; addresses unique; owner never cached."""
+    owner = 0
+    cache = LinkCache(capacity=capacity, owner=owner)
+    policy = get_replacement_policy(replacement_name)
+    rng = random.Random(1)
+    for entry in entries:
+        cache.insert(entry, policy, entry.ts, rng)
+        assert len(cache) <= capacity
+        addresses = list(cache.addresses())
+        assert len(addresses) == len(set(addresses))
+        assert owner not in cache
+
+
+@given(st.lists(entry_strategy, max_size=80), replacement_names)
+@settings(max_examples=80)
+def test_link_cache_first_writer_wins(entries, replacement_name):
+    """Once cached, an address's fields never change via insert."""
+    cache = LinkCache(capacity=100, owner=0)
+    policy = get_replacement_policy(replacement_name)
+    rng = random.Random(2)
+    first_seen = {}
+    for entry in entries:
+        cache.insert(entry, policy, entry.ts, rng)
+        if entry.address in cache and entry.address not in first_seen:
+            first_seen[entry.address] = (
+                cache.get(entry.address).ts,
+                cache.get(entry.address).num_files,
+            )
+    for address, (ts, num_files) in first_seen.items():
+        cached = cache.get(address)
+        if cached is not None:
+            assert (cached.ts, cached.num_files) == (ts, num_files)
+
+
+@given(
+    st.lists(entry_strategy, max_size=60),
+    st.sets(st.integers(min_value=0, max_value=50), max_size=10),
+)
+@settings(max_examples=80)
+def test_query_cache_never_admits_seen_or_excluded(entries, excluded):
+    cache = QueryCache(owner=0, excluded=excluded)
+    admitted = set()
+    for entry in entries:
+        if cache.add(entry):
+            admitted.add(entry.address)
+    # Nothing excluded or owned was admitted; no duplicates possible.
+    assert 0 not in admitted
+    assert admitted.isdisjoint(excluded)
+    assert len(admitted) == len(cache)
+
+
+@given(st.lists(entry_strategy, max_size=60))
+@settings(max_examples=80)
+def test_query_cache_pop_is_terminal(entries):
+    """A popped address can never re-enter the scratch space."""
+    cache = QueryCache(owner=0)
+    for entry in entries:
+        cache.add(entry)
+    popped = [e.address for e in list(cache.entries())[:5]]
+    for address in popped:
+        cache.pop(address)
+    for entry in entries:
+        if entry.address in popped:
+            assert not cache.add(entry)

@@ -1,0 +1,120 @@
+"""Property-based tests for the workload samplers and structures."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.unionfind import UnionFind
+from repro.workload.distributions import (
+    BoundedParetoSampler,
+    EmpiricalSampler,
+    ZipfSampler,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    seeds,
+)
+@settings(max_examples=80)
+def test_zipf_range_and_normalisation(n, exponent, seed):
+    sampler = ZipfSampler(n, exponent)
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert 1 <= sampler.sample(rng) <= n
+    total = sum(sampler.probability(r) for r in range(1, n + 1))
+    assert abs(total - 1.0) < 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=300),
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+@settings(max_examples=80)
+def test_zipf_monotone_probabilities(n, exponent):
+    sampler = ZipfSampler(n, exponent)
+    probs = [sampler.probability(r) for r in range(1, n + 1)]
+    assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+
+@given(
+    st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    st.floats(min_value=1.01, max_value=100.0, allow_nan=False),
+    seeds,
+)
+@settings(max_examples=80)
+def test_bounded_pareto_stays_in_bounds(alpha, lower, ratio, seed):
+    upper = lower * ratio
+    sampler = BoundedParetoSampler(alpha=alpha, lower=lower, upper=upper)
+    rng = random.Random(seed)
+    for _ in range(30):
+        value = sampler.sample(rng)
+        assert lower - 1e-9 <= value <= upper + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    seeds,
+)
+@settings(max_examples=80)
+def test_empirical_sampler_stays_in_hull(observations, seed):
+    sampler = EmpiricalSampler(observations)
+    rng = random.Random(seed)
+    lo, hi = min(observations), max(observations)
+    for _ in range(20):
+        assert lo - 1e-9 <= sampler.sample(rng) <= hi + 1e-9
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert lo - 1e-9 <= sampler.quantile(q) <= hi + 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=80)
+def test_unionfind_component_sizes_partition(unions):
+    uf = UnionFind(range(31))
+    for a, b in unions:
+        uf.union(a, b)
+    sizes = uf.component_sizes()
+    assert sum(sizes) == 31
+    assert uf.largest_component_size() == max(sizes)
+    assert uf.num_components() == len(sizes)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=80)
+def test_unionfind_matches_naive_reachability(unions):
+    uf = UnionFind(range(31))
+    adjacency = {i: {i} for i in range(31)}
+    for a, b in unions:
+        uf.union(a, b)
+        merged = adjacency[a] | adjacency[b]
+        for node in merged:
+            adjacency[node] = merged
+    for i in range(31):
+        assert uf.component_size(i) == len(adjacency[i])

@@ -1,0 +1,77 @@
+"""Tests for ASCII table and series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.series import format_series_block
+from repro.reporting.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| " in lines[1]
+        # All lines are equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_included(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_header_present(self):
+        text = format_table(["alpha", "beta"], [[1, 2]])
+        assert "alpha" in text and "beta" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12.3456], [1234.5]])
+        assert "0.1235" in text
+        assert "12.35" in text
+        assert "1234.5" in text
+
+    def test_bool_formatting(self):
+        text = format_table(["x"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_integral_float_renders_as_int(self):
+        assert " 5 " in format_table(["x"], [[5.0]])
+
+    def test_nan(self):
+        assert "nan" in format_table(["x"], [[float("nan")]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeriesBlock:
+    def test_aligned_on_shared_x(self):
+        text = format_series_block(
+            {"s1": [(1, 10.0), (2, 20.0)], "s2": [(1, 1.0), (2, 2.0)]},
+            x_label="x",
+        )
+        assert "s1" in text and "s2" in text and "x" in text
+
+    def test_missing_cells_dashed(self):
+        text = format_series_block(
+            {"s1": [(1, 10.0)], "s2": [(2, 2.0)]}, x_label="x"
+        )
+        assert "-" in text
+
+    def test_x_values_sorted(self):
+        text = format_series_block(
+            {"s": [(3, 1.0), (1, 2.0), (2, 3.0)]}, x_label="x"
+        )
+        rows = text.splitlines()[3:-1]
+        xs = [float(row.split("|")[1]) for row in rows]
+        assert xs == sorted(xs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_block({}, x_label="x")

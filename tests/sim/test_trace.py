@@ -1,0 +1,70 @@
+"""Tests for the trace log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.trace import TraceLog
+
+
+class TestEmit:
+    def test_records_in_order(self):
+        trace = TraceLog()
+        trace.emit(1.0, "probe", dst=5)
+        trace.emit(2.0, "death", peer=5)
+        kinds = [r.kind for r in trace]
+        assert kinds == ["probe", "death"]
+
+    def test_detail_payload(self):
+        trace = TraceLog()
+        trace.emit(1.0, "probe", dst=5, status="timeout")
+        record = trace.last()
+        assert record.time == 1.0
+        assert record.detail == {"dst": 5, "status": "timeout"}
+
+    def test_ring_eviction(self):
+        trace = TraceLog(capacity=3)
+        for i in range(10):
+            trace.emit(float(i), "tick", i=i)
+        assert len(trace) == 3
+        assert [r.detail["i"] for r in trace] == [7, 8, 9]
+        assert trace.emitted == 10
+
+    def test_kind_filter(self):
+        trace = TraceLog(kinds={"probe"})
+        trace.emit(1.0, "probe")
+        trace.emit(2.0, "death")
+        assert len(trace) == 1
+        assert trace.dropped_by_filter == 1
+
+    def test_of_kind(self):
+        trace = TraceLog()
+        trace.emit(1.0, "a")
+        trace.emit(2.0, "b")
+        trace.emit(3.0, "a")
+        assert [r.time for r in trace.of_kind("a")] == [1.0, 3.0]
+
+    def test_hook(self):
+        trace = TraceLog()
+        on_probe = trace.hook("probe")
+        on_probe(4.0, dst=7)
+        assert trace.last().kind == "probe"
+        assert trace.last().detail == {"dst": 7}
+
+    def test_clear_keeps_counters(self):
+        trace = TraceLog()
+        trace.emit(1.0, "x")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.last() is None
+        assert trace.emitted == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            TraceLog(capacity=0)
+
+    def test_empty_log(self):
+        trace = TraceLog()
+        assert len(trace) == 0
+        assert list(trace.of_kind("x")) == []

@@ -1,0 +1,130 @@
+"""Tests for sliding-window and bucketed rate limiting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.windows import BucketedRateLimiter, SlidingWindowCounter
+
+
+class TestSlidingWindowCounter:
+    def test_counts_within_window(self):
+        counter = SlidingWindowCounter(window=1.0)
+        counter.record(0.1)
+        counter.record(0.5)
+        assert counter.count(0.9) == 2
+
+    def test_expires_old_events(self):
+        counter = SlidingWindowCounter(window=1.0)
+        counter.record(0.0)
+        counter.record(0.5)
+        assert counter.count(1.2) == 1
+        assert counter.count(1.6) == 0
+
+    def test_boundary_is_exclusive(self):
+        counter = SlidingWindowCounter(window=1.0)
+        counter.record(0.0)
+        # The event at t=0 falls outside the window (now - window, now]
+        # exactly at now=1.0.
+        assert counter.count(1.0) == 0
+
+    def test_limit_enforced(self):
+        counter = SlidingWindowCounter(window=1.0, limit=2)
+        assert counter.try_record(0.1)
+        assert counter.try_record(0.2)
+        assert not counter.try_record(0.3)
+        assert counter.total == 2
+
+    def test_limit_frees_as_window_moves(self):
+        counter = SlidingWindowCounter(window=1.0, limit=1)
+        assert counter.try_record(0.0)
+        assert not counter.try_record(0.5)
+        assert counter.try_record(1.5)
+
+    def test_unlimited_never_refuses(self):
+        counter = SlidingWindowCounter(window=1.0, limit=None)
+        for i in range(100):
+            assert counter.try_record(i * 0.001)
+
+    def test_zero_limit_refuses_everything(self):
+        counter = SlidingWindowCounter(window=1.0, limit=0)
+        assert not counter.try_record(0.0)
+
+    def test_decreasing_timestamps_rejected(self):
+        counter = SlidingWindowCounter(window=1.0)
+        counter.record(1.0)
+        with pytest.raises(ConfigError):
+            counter.record(0.5)
+
+    def test_reset(self):
+        counter = SlidingWindowCounter(window=1.0, limit=1)
+        counter.record(0.0)
+        counter.reset()
+        assert counter.total == 0
+        assert counter.try_record(0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            SlidingWindowCounter(window=0.0)
+        with pytest.raises(ConfigError):
+            SlidingWindowCounter(window=1.0, limit=-1)
+
+
+class TestBucketedRateLimiter:
+    def test_counts_per_bucket(self):
+        limiter = BucketedRateLimiter(window=1.0)
+        limiter.record(0.2)
+        limiter.record(0.7)
+        limiter.record(1.1)
+        assert limiter.count(0.5) == 2
+        assert limiter.count(1.9) == 1
+
+    def test_limit_per_bucket(self):
+        limiter = BucketedRateLimiter(window=1.0, limit=2)
+        assert limiter.try_record(5.1)
+        assert limiter.try_record(5.9)
+        assert not limiter.try_record(5.5)
+        assert limiter.try_record(6.0)  # next bucket
+
+    def test_out_of_order_timestamps_tolerated(self):
+        # The whole point of the bucketed variant: interleaved virtual
+        # probe timestamps from different queries.
+        limiter = BucketedRateLimiter(window=1.0, limit=2)
+        assert limiter.try_record(10.4)
+        assert limiter.try_record(9.7)   # older bucket, fine
+        assert limiter.try_record(10.6)
+        assert not limiter.try_record(10.2)  # bucket 10 full
+
+    def test_unlimited(self):
+        limiter = BucketedRateLimiter(window=1.0, limit=None)
+        for i in range(50):
+            assert limiter.try_record(3.0)
+        assert limiter.total == 50
+
+    def test_prune_keeps_recent_buckets_correct(self):
+        limiter = BucketedRateLimiter(window=1.0, limit=5)
+        # Push far more buckets than the prune threshold.
+        for second in range(1000):
+            limiter.record(float(second))
+        assert limiter.count(999.5) == 1
+        assert limiter.total == 1000
+
+    def test_reset(self):
+        limiter = BucketedRateLimiter(window=1.0, limit=1)
+        limiter.record(0.0)
+        limiter.reset()
+        assert limiter.total == 0
+        assert limiter.try_record(0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            BucketedRateLimiter(window=-1.0)
+        with pytest.raises(ConfigError):
+            BucketedRateLimiter(limit=-2)
+
+    def test_window_scales_buckets(self):
+        limiter = BucketedRateLimiter(window=10.0, limit=1)
+        assert limiter.try_record(1.0)
+        assert not limiter.try_record(9.0)   # same 10s bucket
+        assert limiter.try_record(11.0)

@@ -1,0 +1,82 @@
+"""Tests for the package's public surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_types_exported(self):
+        assert repro.GuessSimulation
+        assert repro.SystemParams
+        assert repro.ProtocolParams
+        assert repro.SimulationReport
+
+    def test_quickstart_snippet_runs(self):
+        """The README / module docstring example must keep working."""
+        sim = repro.GuessSimulation(
+            repro.SystemParams(network_size=50, query_rate=0.05),
+            repro.ProtocolParams(query_pong="MFS", cache_size=10),
+            seed=7,
+        )
+        sim.run(200.0)
+        report = sim.report()
+        assert report.queries > 0
+        assert 0.0 <= report.unsatisfied_rate <= 1.0
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.network",
+            "repro.workload",
+            "repro.core",
+            "repro.baselines",
+            "repro.metrics",
+            "repro.experiments",
+            "repro.reporting",
+            "repro.extensions",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_policy_registry_names(self):
+        assert repro.registered_policy_names() == [
+            "LRU", "MFS", "MR", "MRU", "Random",
+        ]
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "ConfigError",
+            "PolicyError",
+            "SimulationError",
+            "TopologyError",
+            "WorkloadError",
+        ):
+            error = getattr(repro, name)
+            assert issubclass(error, repro.ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(repro.ConfigError, ValueError)
+
+    def test_policy_error_is_key_error(self):
+        assert issubclass(repro.PolicyError, KeyError)

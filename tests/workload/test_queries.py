@@ -1,0 +1,60 @@
+"""Tests for the bursty query-arrival process."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.queries import QueryBurstProcess
+
+
+@pytest.fixture
+def rng():
+    return random.Random(3)
+
+
+class TestQueryBurstProcess:
+    def test_burst_size_bounds(self, rng):
+        process = QueryBurstProcess()
+        sizes = {process.burst_size(rng) for _ in range(500)}
+        assert sizes <= {1, 2, 3, 4, 5}
+        assert {1, 5} <= sizes  # extremes appear over 500 draws
+
+    def test_mean_burst_size(self):
+        assert QueryBurstProcess().mean_burst_size == 3.0
+
+    def test_burst_rate_derated_by_burst_size(self):
+        process = QueryBurstProcess(query_rate=0.03)
+        assert process.burst_rate == pytest.approx(0.01)
+
+    def test_long_run_query_rate(self, rng):
+        process = QueryBurstProcess(query_rate=0.1)
+        total_time = 0.0
+        total_queries = 0
+        for _ in range(3000):
+            total_time += process.next_burst_delay(rng)
+            total_queries += process.burst_size(rng)
+        assert total_queries / total_time == pytest.approx(0.1, rel=0.1)
+
+    def test_zero_rate_never_fires(self, rng):
+        process = QueryBurstProcess(query_rate=0.0)
+        assert process.next_burst_delay(rng) == float("inf")
+
+    def test_delays_positive(self, rng):
+        process = QueryBurstProcess(query_rate=1.0)
+        assert all(process.next_burst_delay(rng) >= 0 for _ in range(200))
+
+    def test_custom_burst_bounds(self, rng):
+        process = QueryBurstProcess(min_burst=2, max_burst=2)
+        assert process.burst_size(rng) == 2
+        assert process.mean_burst_size == 2.0
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            QueryBurstProcess(query_rate=-0.1)
+        with pytest.raises(WorkloadError):
+            QueryBurstProcess(min_burst=0)
+        with pytest.raises(WorkloadError):
+            QueryBurstProcess(min_burst=5, max_burst=2)

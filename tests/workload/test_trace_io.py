@@ -1,0 +1,84 @@
+"""Tests for workload trace I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace_io import (
+    lifetime_model_from_file,
+    load_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        values = [1.5, 2.0, 3600.0]
+        save_trace(path, values)
+        assert load_trace(path) == values
+
+    def test_header_preserved_as_comments(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, [1.0], header="source: test\nunits: seconds")
+        text = path.read_text()
+        assert text.startswith("# source: test\n# units: seconds\n")
+        assert load_trace(path) == [1.0]
+
+    def test_precision_survives(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        values = [0.1 + 0.2, 1e-9, 123456.789012345]
+        save_trace(path, values)
+        assert load_trace(path) == values
+
+
+class TestLoadValidation:
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# hi\n\n1.0\n\n# mid\n2.0\n")
+        assert load_trace(path) == [1.0, 2.0]
+
+    def test_garbage_rejected_with_location(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1.0\nbanana\n")
+        with pytest.raises(WorkloadError, match="2"):
+            load_trace(path)
+
+    def test_non_finite_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("inf\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+
+class TestSaveValidation:
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(tmp_path / "t.txt", [])
+
+    def test_non_finite_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(tmp_path / "t.txt", [1.0, float("nan")])
+
+
+class TestLifetimeModelFromFile:
+    def test_model_resamples_trace(self, tmp_path):
+        import random
+
+        path = tmp_path / "sessions.txt"
+        save_trace(path, [100.0] * 20)
+        model = lifetime_model_from_file(path, multiplier=2.0)
+        assert model.sample(random.Random(0)) == pytest.approx(200.0)
+
+    def test_non_positive_sessions_rejected(self, tmp_path):
+        path = tmp_path / "sessions.txt"
+        save_trace(path, [10.0, 0.0])
+        with pytest.raises(WorkloadError):
+            lifetime_model_from_file(path)
