@@ -93,7 +93,9 @@ class AttackDirectory:
         """Up to ``k`` live malicious addresses other than ``exclude``."""
         if k <= 0:
             return []
-        pool = [a for a in self.live_malicious if a != exclude]
+        # Sort the roster before sampling: the draw (and the pong entry
+        # order when k >= len(pool)) must not depend on set iteration order.
+        pool = [a for a in sorted(self.live_malicious) if a != exclude]
         if not pool:
             return []
         if k >= len(pool):
@@ -104,7 +106,7 @@ class AttackDirectory:
         """Up to ``k`` live good addresses."""
         if k <= 0 or not self.live_good:
             return []
-        pool = list(self.live_good)
+        pool = sorted(self.live_good)
         if k >= len(pool):
             return pool
         return rng.sample(pool, k)

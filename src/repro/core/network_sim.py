@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.entry import CacheEntry
 from repro.core.malicious import AttackDirectory, MaliciousPeer
 from repro.core.params import (
     ProtocolParams,
@@ -32,7 +33,6 @@ from repro.core.params import (
     default_cache_seed_size,
 )
 from repro.core.peer import GuessPeer
-from repro.core.entry import CacheEntry
 from repro.core.policies import PolicySet
 from repro.core.search import execute_query
 from repro.errors import SimulationError
@@ -83,6 +83,10 @@ class GuessSimulation:
             (see :mod:`repro.network.latency`); defaults to the
             transport's constant model.  Affects only response-time
             metrics, never probe counts.
+        trace_hash: enable the engine's determinism sanitizer — every
+            fired event is folded into a digest exposed as
+            :attr:`trace_digest`, so two same-``(seed, params)`` runs can
+            be asserted bit-for-bit identical.
 
     Example::
 
@@ -105,10 +109,11 @@ class GuessSimulation:
         keep_queries: bool = False,
         health_sample_interval: Optional[float] = DEFAULT_HEALTH_SAMPLE_INTERVAL,
         latency=None,
+        trace_hash: bool = False,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
-        self.engine = Simulator()
+        self.engine = Simulator(trace_hash=trace_hash)
         self.rng = RngRegistry(seed)
         self.transport = Transport(
             timeout=self.protocol.probe_spacing, latency=latency
@@ -142,6 +147,11 @@ class GuessSimulation:
     def now(self) -> float:
         """Current simulation time."""
         return self.engine.now
+
+    @property
+    def trace_digest(self) -> Optional[str]:
+        """Executed-event digest (None unless ``trace_hash=True``)."""
+        return self.engine.trace_digest
 
     @property
     def live_peers(self) -> List[GuessPeer]:
@@ -179,7 +189,9 @@ class GuessSimulation:
                 candidate = addresses[topology_rng.randrange(n)]
                 if candidate != peer.address:
                     picked.add(candidate)
-            for address in picked:
+            # Sorted so cache contents (hence ping-target order) never
+            # depend on set iteration order.
+            for address in sorted(picked):
                 target = self._peers[address]
                 entry = CacheEntry(
                     address=address,

@@ -11,6 +11,11 @@ can hold.  Properties the paper specifies:
 * the cache is **discarded when the query completes** — maintaining it
   would cost too much (entries may still graduate to the link cache via
   the normal CacheReplacement path, handled by the search loop).
+
+Determinism audit (RD003): ``_seen`` is a set used for membership tests
+only and is never iterated; candidate ordering always flows through
+``_entries``, an insertion-ordered dict, so ``entries()`` /
+``addresses()`` hand policy selection a deterministic sequence.
 """
 
 from __future__ import annotations

@@ -1,0 +1,52 @@
+"""Developer tooling that enforces the simulator's determinism contract.
+
+DESIGN.md promises that the same ``(seed, params)`` pair reproduces a run
+bit-for-bit.  That property rests on coding rules that used to live only in
+prose — randomness flows through named streams, simulation code never reads
+the wall clock, unordered collections are sorted before they feed policy
+decisions.  This package turns those rules into a custom AST-based lint
+pass:
+
+========  ==================  ==============================================
+Rule id   Pragma slug         What it forbids
+========  ==================  ==============================================
+RD001     global-random       module-level ``random.*`` calls and unseeded
+                              ``random.Random()`` outside ``repro.sim.rng``
+RD002     wallclock           ``time.time()`` / ``datetime.now()`` /
+                              ``time.monotonic()`` (and friends) inside the
+                              ``repro`` package — wall-clock is
+                              reporting-only
+RD003     unordered-iter      iterating a ``set`` (or feeding one to an
+                              RNG) where the order reaches selection, heap
+                              pushes, or cache eviction without ``sorted()``
+RD004     float-time-eq       ``==`` / ``!=`` between two floating-point
+                              simulation timestamps
+RD005     heap-mutation       touching the engine's ``_heap`` / ``_seq`` /
+                              ``_now`` internals outside its ``schedule()``
+                              API
+========  ==================  ==============================================
+
+Any finding can be suppressed on its line with ``# repro: allow-<slug>``
+(or ``# repro: allow-<rule id>``).  The CLI::
+
+    python -m repro.devtools.lint src/ tests/ benchmarks/
+
+exits non-zero if any violation is found; ``tests/devtools/test_lint_repo.py``
+runs the same pass in CI so the repository stays clean.  The static pass is
+validated dynamically by the engine's trace-hash sanitizer
+(``Simulator(trace_hash=True)``), which digests the executed event stream so
+two same-seed runs can be compared bit-for-bit.
+"""
+
+from repro.devtools.linter import LintResult, lint_file, lint_paths, lint_source
+from repro.devtools.rules import RULES, Rule, Violation
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

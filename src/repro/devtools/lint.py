@@ -1,0 +1,92 @@
+"""Command-line entry point for the determinism linter.
+
+Usage::
+
+    python -m repro.devtools.lint src/ tests/ benchmarks/
+    python -m repro.devtools.lint --list-rules
+    python -m repro.devtools.lint --explain RD003
+
+Exit status: 0 when every file is clean, 1 when violations or pragma/
+syntax errors were found, 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.devtools.linter import lint_paths
+from repro.devtools.reporter import render_result, render_rules
+from repro.devtools.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for ``--help`` tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "Static determinism lint: enforce the named-RNG-stream, "
+            "no-wall-clock, and ordered-iteration rules the simulator's "
+            "bit-for-bit reproducibility depends on."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (e.g. src/ tests/ benchmarks/)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its pragma slug and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print one rule's documentation (e.g. RD003) and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line on success",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    if args.explain:
+        rule_id = args.explain.upper()
+        if rule_id not in RULES:
+            print(
+                f"unknown rule {args.explain!r}; known: {sorted(RULES)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_rules([rule_id]))
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    result = lint_paths(args.paths)
+    if result.ok:
+        if not args.quiet:
+            print(render_result(result))
+        return 0
+    print(render_result(result))
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

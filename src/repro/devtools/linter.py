@@ -1,0 +1,124 @@
+"""Linter orchestration: source -> AST -> visitors -> filtered findings.
+
+``lint_source`` is the core primitive (used directly by the fixture tests,
+which lint in-memory code under a pretend path); ``lint_file`` and
+``lint_paths`` wrap it for real files and directory trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.devtools.pragmas import PragmaIndex
+from repro.devtools.rules import VISITOR_FACTORIES, Rule, Violation
+from repro.devtools.visitors import FileContext
+
+#: Directory names never descended into when expanding path arguments.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of linting one or more files.
+
+    Attributes:
+        violations: surviving (non-suppressed) findings, in file order.
+        errors: file-level problems — syntax errors, malformed or unknown
+            pragmas.  Errors fail the lint just like violations do: a
+            pragma typo that silently suppressed nothing would otherwise
+            hide a real finding.
+        files_checked: number of files parsed.
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the lint passed (no findings and no errors)."""
+        return not self.violations and not self.errors
+
+    def extend(self, other: "LintResult") -> None:
+        """Fold another result into this one."""
+        self.violations.extend(other.violations)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+
+
+def lint_source(source: str, path: str) -> LintResult:
+    """Lint ``source`` as though it lived at ``path``.
+
+    ``path`` drives both reporting and scope decisions (RD001 exempts
+    ``repro/sim/rng.py``, RD002 applies only inside the ``repro``
+    package, RD005 exempts ``repro/sim/engine.py``), so fixture tests can
+    exercise path-dependent behaviour without touching the filesystem.
+    """
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}")
+        return result
+
+    pragmas = PragmaIndex.from_source(source)
+    result.errors.extend(f"{path}: {error}" for error in pragmas.errors)
+
+    raw: List[Violation] = []
+
+    def report(rule: Rule, node: ast.AST, message: str) -> None:
+        raw.append(
+            Violation(
+                rule=rule,
+                path=path,
+                line=getattr(node, "lineno", 0),
+                column=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    ctx = FileContext(path=path, report=report)
+    for rule_id in sorted(VISITOR_FACTORIES):
+        VISITOR_FACTORIES[rule_id](ctx).visit(tree)
+
+    result.violations.extend(
+        violation
+        for violation in sorted(raw, key=lambda v: (v.line, v.column, v.rule.id))
+        if not pragmas.suppresses(violation.rule.id, violation.line)
+    )
+    return result
+
+
+def lint_file(path: str | Path) -> LintResult:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        result = LintResult(files_checked=1)
+        result.errors.append(f"{file_path}: unreadable: {exc}")
+        return result
+    return lint_source(source, str(file_path))
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIPPED_DIRS.intersection(candidate.parts):
+                    yield candidate
+        else:
+            yield path
+
+
+def lint_paths(paths: Sequence[str | Path]) -> LintResult:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.extend(lint_file(file_path))
+    return result

@@ -1,0 +1,115 @@
+"""Suppression pragmas for the determinism linter.
+
+A finding is suppressed by a comment on the same logical line::
+
+    entry = pool[rng.randrange(len(pool))]  # repro: allow-unordered-iter
+
+Accepted forms:
+
+* ``# repro: allow-<slug>`` — e.g. ``allow-wallclock`` (preferred: says
+  *what* is being allowed);
+* ``# repro: allow-<rule-id>`` — e.g. ``allow-RD002`` (case-insensitive);
+* several suppressions in one comment, comma-separated:
+  ``# repro: allow-wallclock, allow-global-random``.
+
+Pragmas are extracted with :mod:`tokenize`, not string search, so pragma
+text inside string literals never suppresses anything.  A pragma on the
+first line of a multi-line statement suppresses findings reported anywhere
+on that statement's lines (handled by the linter, which checks the
+reported line only — visitors report the line the pragma-carrying token
+lives on).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Set
+
+from repro.devtools.rules import rules_for_pragma_key
+
+#: Matches one pragma comment; group 1 is the comma-separated token list.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(allow-[A-Za-z0-9_-]+(?:\s*,\s*allow-[A-Za-z0-9_-]+)*)",
+)
+
+_TOKEN_RE = re.compile(r"allow-([A-Za-z0-9_-]+)")
+
+
+class PragmaError(ValueError):
+    """Raised for a ``# repro:`` comment naming no known rule."""
+
+
+def parse_pragma_comment(comment: str) -> Set[str]:
+    """Rule ids suppressed by one comment string (empty if not a pragma).
+
+    Raises:
+        PragmaError: the comment is a ``# repro:`` pragma but one of its
+            ``allow-`` tokens matches no registered rule (catches typos
+            like ``allow-wallclok`` that would otherwise silently fail
+            to suppress).
+    """
+    match = _PRAGMA_RE.search(comment)
+    if match is None:
+        # Anything with the pragma prefix but no parsable allow-list is a
+        # typo the author expected to suppress something.
+        if re.search(r"#\s*repro:", comment):
+            raise PragmaError(f"malformed repro pragma: {comment.strip()!r}")
+        return set()
+    rule_ids: Set[str] = set()
+    for token in _TOKEN_RE.findall(match.group(1)):
+        rules = rules_for_pragma_key(token)
+        if not rules:
+            raise PragmaError(
+                f"unknown rule {token!r} in pragma: {comment.strip()!r}"
+            )
+        rule_ids.update(rule.id for rule in rules)
+    return rule_ids
+
+
+class PragmaIndex:
+    """Per-file map of line number -> rule ids suppressed on that line."""
+
+    __slots__ = ("_by_line", "errors")
+
+    def __init__(
+        self, by_line: Dict[int, FrozenSet[str]], errors: List[str]
+    ) -> None:
+        self._by_line = by_line
+        self.errors = errors
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        """Scan ``source`` for pragma comments.
+
+        Tokenization errors (the file may not even be valid Python) yield
+        an empty index; the linter reports the syntax error separately.
+        """
+        by_line: Dict[int, FrozenSet[str]] = {}
+        errors: List[str] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                try:
+                    ids = parse_pragma_comment(token.string)
+                except PragmaError as exc:
+                    errors.append(f"line {token.start[0]}: {exc}")
+                    continue
+                if ids:
+                    line = token.start[0]
+                    existing = by_line.get(line, frozenset())
+                    by_line[line] = existing | frozenset(ids)
+        except tokenize.TokenError:
+            pass
+        return cls(by_line, errors)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is suppressed on ``line``."""
+        return rule_id in self._by_line.get(line, frozenset())
+
+    def lines(self) -> Dict[int, FrozenSet[str]]:
+        """Snapshot of the line -> suppressed-rule-ids map."""
+        return dict(self._by_line)

@@ -1,0 +1,44 @@
+"""Plain-text rendering of lint results and rule documentation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devtools.linter import LintResult
+from repro.devtools.rules import ORDERED_RULES, RULES
+
+
+def render_result(result: LintResult) -> str:
+    """Human-readable report: findings, errors, then a one-line summary."""
+    lines: List[str] = [v.render() for v in result.violations]
+    lines.extend(f"error: {error}" for error in result.errors)
+    lines.append(summarize(result))
+    return "\n".join(lines)
+
+
+def summarize(result: LintResult) -> str:
+    """One-line summary used as the report footer."""
+    if result.ok:
+        return f"determinism lint: {result.files_checked} file(s) clean"
+    parts = [f"{len(result.violations)} violation(s)"]
+    if result.errors:
+        parts.append(f"{len(result.errors)} error(s)")
+    return (
+        f"determinism lint: {', '.join(parts)} "
+        f"across {result.files_checked} file(s)"
+    )
+
+
+def render_rules(rule_ids: List[str] | None = None) -> str:
+    """Documentation block for ``--explain`` / ``--list-rules``."""
+    rules = ORDERED_RULES
+    if rule_ids:
+        rules = [RULES[rule_id] for rule_id in rule_ids]
+    blocks: List[str] = []
+    for rule in rules:
+        blocks.append(
+            f"{rule.id} (# repro: allow-{rule.slug})\n"
+            f"  {rule.summary}\n"
+            f"  {rule.rationale}"
+        )
+    return "\n\n".join(blocks)

@@ -8,7 +8,11 @@
   experiment modules.
 """
 
-from repro.metrics.collectors import CacheHealthSample, MetricsCollector, SimulationReport
+from repro.metrics.collectors import (
+    CacheHealthSample,
+    MetricsCollector,
+    SimulationReport,
+)
 from repro.metrics.load import LoadDistribution
 from repro.metrics.summary import mean, quantile, stderr
 

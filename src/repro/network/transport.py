@@ -145,7 +145,9 @@ class Transport:
     # Probing
     # ------------------------------------------------------------------
 
-    def probe(self, src: Address, dst: Address, message: Any, time: float) -> ProbeOutcome:
+    def probe(
+        self, src: Address, dst: Address, message: Any, time: float
+    ) -> ProbeOutcome:
         """Send ``message`` from ``src`` to ``dst`` at virtual time ``time``.
 
         Returns:

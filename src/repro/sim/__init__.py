@@ -10,13 +10,15 @@ The kernel is intentionally tiny and dependency-free; everything above it
 (the GUESS protocol, baselines, experiments) schedules plain callbacks.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Engine, Simulator, TraceHasher
 from repro.sim.events import Event, EventPriority
 from repro.sim.rng import RngRegistry
 from repro.sim.windows import BucketedRateLimiter, SlidingWindowCounter
 
 __all__ = [
     "Simulator",
+    "Engine",
+    "TraceHasher",
     "Event",
     "EventPriority",
     "RngRegistry",

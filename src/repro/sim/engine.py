@@ -18,11 +18,50 @@ offline environment.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventPriority
+
+
+class TraceHasher:
+    """Rolling digest of the executed event stream (determinism oracle).
+
+    Every fired event folds ``(time, priority, seq, label)`` into a
+    BLAKE2b state.  Two runs with the same ``(seed, params)`` must
+    produce the same digest bit-for-bit; any divergence — a stray global
+    RNG draw, an unordered iteration, a wall-clock leak — shows up as a
+    digest mismatch at the first diverging event.  This is the dynamic
+    counterpart of the static rules in :mod:`repro.devtools`.
+    """
+
+    __slots__ = ("_hash", "_events")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self._events = 0
+
+    def fold(self, time: float, priority: int, seq: int, label: str) -> None:
+        """Absorb one fired event into the digest.
+
+        ``float.hex()`` renders the timestamp exactly (no decimal
+        rounding), so two runs differing by one ulp still diverge.
+        """
+        self._hash.update(
+            f"{time.hex()}|{priority}|{seq}|{label}\n".encode("utf-8")
+        )
+        self._events += 1
+
+    @property
+    def events_folded(self) -> int:
+        """Number of events absorbed so far."""
+        return self._events
+
+    def digest(self) -> str:
+        """Hex digest of the trace so far (non-destructive snapshot)."""
+        return self._hash.copy().hexdigest()
 
 
 class EventHandle:
@@ -77,9 +116,13 @@ class Simulator:
 
     Args:
         start_time: initial clock value (seconds).  Defaults to 0.
+        trace_hash: when True, fold every fired event into a
+            :class:`TraceHasher` so two same-seed runs can be compared
+            via :attr:`trace_digest` (the determinism sanitizer).  Off
+            by default — it costs one hash update per event.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, trace_hash: bool = False) -> None:
         if start_time < 0:
             raise SimulationError(f"start_time must be >= 0, got {start_time}")
         self._now = float(start_time)
@@ -87,6 +130,7 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_executed = 0
+        self._tracer: Optional[TraceHasher] = TraceHasher() if trace_hash else None
 
     # ------------------------------------------------------------------
     # Clock
@@ -106,6 +150,15 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still in the heap, including tombstones."""
         return len(self._heap)
+
+    @property
+    def trace_digest(self) -> Optional[str]:
+        """Digest of the executed event stream, or None if not tracing.
+
+        Same ``(seed, params)`` + same code ⇒ same digest; see
+        :class:`TraceHasher`.
+        """
+        return None if self._tracer is None else self._tracer.digest()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -172,6 +225,18 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
 
+    def _fire(self, handle: EventHandle) -> None:
+        """Advance the clock to ``handle`` and execute it (internal)."""
+        event = handle._event
+        self._now = event.time
+        handle._fired = True
+        self._events_executed += 1
+        if self._tracer is not None:
+            self._tracer.fold(
+                event.time, int(event.priority), event.seq, event.label
+            )
+        event.action()
+
     def step(self) -> bool:
         """Fire the single next pending event.
 
@@ -183,10 +248,7 @@ class Simulator:
             _, handle = heapq.heappop(self._heap)
             if handle._cancelled:
                 continue
-            self._now = handle._event.time
-            handle._fired = True
-            self._events_executed += 1
-            handle._event.action()
+            self._fire(handle)
             return True
         return False
 
@@ -221,10 +283,7 @@ class Simulator:
                 heapq.heappop(self._heap)
                 if handle._cancelled:
                     continue
-                self._now = handle._event.time
-                handle._fired = True
-                self._events_executed += 1
-                handle._event.action()
+                self._fire(handle)
                 executed += 1
         finally:
             self._running = False
@@ -249,3 +308,8 @@ class Simulator:
             f"Simulator(now={self._now:.3f}, pending={self.pending}, "
             f"executed={self._events_executed})"
         )
+
+
+#: The paper-facing name for the simulation kernel; ``Engine(trace_hash=True)``
+#: is the determinism sanitizer's documented spelling.
+Engine = Simulator

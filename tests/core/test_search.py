@@ -7,8 +7,8 @@ import random
 import pytest
 
 from repro.core.params import ProtocolParams
-from repro.core.search import CandidatePool, execute_query
 from repro.core.policies import get_ordering_policy
+from repro.core.search import CandidatePool, execute_query
 from repro.network.transport import Transport
 from tests.conftest import make_entry
 from tests.core.helpers import make_peer

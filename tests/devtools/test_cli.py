@@ -1,0 +1,80 @@
+"""CLI behaviour: exit codes, rule docs, path expansion."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.lint import main
+from repro.devtools.linter import iter_python_files, lint_paths
+from repro.devtools.rules import ORDERED_RULES, RULES, VISITOR_FACTORIES
+
+
+class TestRegistry:
+    def test_five_rules_registered(self):
+        assert sorted(RULES) == ["RD001", "RD002", "RD003", "RD004", "RD005"]
+
+    def test_every_rule_has_a_visitor(self):
+        assert sorted(VISITOR_FACTORIES) == sorted(RULES)
+
+    def test_slugs_are_unique(self):
+        slugs = [rule.slug for rule in ORDERED_RULES]
+        assert len(slugs) == len(set(slugs))
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path: Path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path: Path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import random\nx = random.random()\n", encoding="utf-8"
+        )
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RD001" in out
+        assert "dirty.py:2" in out
+
+    def test_syntax_error_exits_one(self, tmp_path: Path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n", encoding="utf-8")
+        assert main([str(target)]) == 1
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_directory_expansion_skips_pycache(self, tmp_path: Path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        cache = tmp_path / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "mod.cpython-311.py").write_text("x = 1\n", encoding="utf-8")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_non_py_files_are_ignored(self, tmp_path: Path):
+        (tmp_path / "case.py.txt").write_text(
+            "import random\nx = random.random()\n", encoding="utf-8"
+        )
+        result = lint_paths([tmp_path])
+        assert result.files_checked == 0
+        assert result.ok
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_explain_known_rule(self, capsys):
+        assert main(["--explain", "rd003"]) == 0
+        out = capsys.readouterr().out
+        assert "RD003" in out
+        assert "allow-unordered-iter" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["--explain", "RD999"]) == 2
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,27 @@
+"""Self-lint: the repository must satisfy its own determinism contract.
+
+This is the wiring that makes every future PR honour RD001-RD005: the
+tier-1 suite fails (here, and in CI via the same command) the moment a
+new wall-clock read, global RNG draw, unordered-iteration hazard, float
+timestamp equality, or engine-heap poke lands without an explicit
+``# repro: allow-*`` pragma.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import lint_paths
+from repro.devtools.reporter import render_result
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Same targets as the CI invocation:
+#: ``python -m repro.devtools.lint src/ tests/ benchmarks/``.
+LINTED_TREES = ("src", "tests", "benchmarks")
+
+
+def test_repository_is_determinism_clean():
+    result = lint_paths([REPO_ROOT / tree for tree in LINTED_TREES])
+    assert result.files_checked > 100, "lint walked suspiciously few files"
+    assert result.ok, "\n" + render_result(result)

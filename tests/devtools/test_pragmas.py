@@ -1,0 +1,65 @@
+"""Unit tests for suppression-pragma parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.pragmas import PragmaError, PragmaIndex, parse_pragma_comment
+
+
+class TestParsePragmaComment:
+    def test_slug_form(self):
+        assert parse_pragma_comment("# repro: allow-wallclock") == {"RD002"}
+
+    def test_rule_id_form_is_case_insensitive(self):
+        assert parse_pragma_comment("# repro: allow-RD001") == {"RD001"}
+        assert parse_pragma_comment("# repro: allow-rd001") == {"RD001"}
+
+    def test_comma_separated_list(self):
+        ids = parse_pragma_comment(
+            "# repro: allow-wallclock, allow-global-random"
+        )
+        assert ids == {"RD001", "RD002"}
+
+    def test_trailing_prose_is_tolerated(self):
+        ids = parse_pragma_comment(
+            "# repro: allow-wallclock (reporting-only timing)"
+        )
+        assert ids == {"RD002"}
+
+    def test_ordinary_comment_is_not_a_pragma(self):
+        assert parse_pragma_comment("# reproduce figure 3") == set()
+        assert parse_pragma_comment("# nothing to see") == set()
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma_comment("# repro: allow-wallclok")
+
+    def test_malformed_pragma_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma_comment("# repro: ignore everything")
+
+
+class TestPragmaIndex:
+    def test_maps_lines_to_rule_ids(self):
+        source = "x = 1  # repro: allow-float-time-eq\ny = 2\n"
+        index = PragmaIndex.from_source(source)
+        assert index.suppresses("RD004", 1)
+        assert not index.suppresses("RD004", 2)
+        assert not index.suppresses("RD001", 1)
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        source = 's = "# repro: allow-wallclock"\n'
+        index = PragmaIndex.from_source(source)
+        assert not index.suppresses("RD002", 1)
+        assert index.errors == []
+
+    def test_typo_recorded_as_error(self):
+        source = "x = 1  # repro: allow-nonsense\n"
+        index = PragmaIndex.from_source(source)
+        assert len(index.errors) == 1
+        assert not index.suppresses("RD002", 1)
+
+    def test_unparseable_source_yields_empty_index(self):
+        index = PragmaIndex.from_source("def broken(:\n    '")
+        assert index.lines() == {}

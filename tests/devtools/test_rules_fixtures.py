@@ -1,0 +1,75 @@
+"""Fixture-corpus tests: every rule fires where expected and nowhere else.
+
+Each file under ``cases/`` is a small Python module stored with a
+``.py.txt`` extension (so the repository self-lint never walks it) and a
+two-line header:
+
+* ``# lint-path: <virtual path>`` — the path the module is linted under,
+  which drives the path-scoped rules (RD001's rng-module exemption,
+  RD002's repro-package scope, RD005's engine exemption);
+* ``# expect: RD001:6 RD003:12 ...`` — the exact ``rule:line`` findings
+  the linter must produce (omitted or empty = must be clean);
+* ``# expect-errors: N`` — optionally, the exact number of file-level
+  errors (malformed/unknown pragmas).
+
+The corpus doubles as executable documentation of each rule's positive
+cases, accepted idioms, and suppression pragma.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.devtools import lint_source
+
+CASES_DIR = Path(__file__).parent / "cases"
+CASE_FILES = sorted(CASES_DIR.glob("*.py.txt"))
+
+_LINT_PATH_RE = re.compile(r"#\s*lint-path:\s*(\S+)")
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(.*)")
+_EXPECT_ERRORS_RE = re.compile(r"#\s*expect-errors:\s*(\d+)")
+
+
+def load_case(path: Path) -> Tuple[str, str, List[Tuple[str, int]], int]:
+    """Parse one fixture: (source, virtual path, expected findings, errors)."""
+    source = path.read_text(encoding="utf-8")
+    path_match = _LINT_PATH_RE.search(source)
+    assert path_match is not None, f"{path.name}: missing '# lint-path:' header"
+    expected: List[Tuple[str, int]] = []
+    expect_match = _EXPECT_RE.search(source)
+    if expect_match:
+        for token in expect_match.group(1).split():
+            rule_id, line = token.split(":")
+            expected.append((rule_id, int(line)))
+    errors_match = _EXPECT_ERRORS_RE.search(source)
+    expected_errors = int(errors_match.group(1)) if errors_match else 0
+    return source, path_match.group(1), sorted(expected), expected_errors
+
+
+def test_corpus_is_not_empty():
+    assert len(CASE_FILES) >= 10, "fixture corpus looks truncated"
+
+
+def test_corpus_covers_every_rule():
+    """Each of RD001-RD005 has at least one firing fixture."""
+    covered = set()
+    for case in CASE_FILES:
+        _, _, expected, _ = load_case(case)
+        covered.update(rule_id for rule_id, _ in expected)
+    assert covered >= {"RD001", "RD002", "RD003", "RD004", "RD005"}
+
+
+@pytest.mark.parametrize("case", CASE_FILES, ids=lambda p: p.name[: -len(".py.txt")])
+def test_fixture(case: Path):
+    source, lint_path, expected, expected_errors = load_case(case)
+    result = lint_source(source, lint_path)
+    got = sorted((v.rule.id, v.line) for v in result.violations)
+    assert got == expected, "\n".join(
+        ["findings diverged from the # expect: header:"]
+        + [v.render() for v in result.violations]
+    )
+    assert len(result.errors) == expected_errors, result.errors

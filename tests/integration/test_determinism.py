@@ -1,0 +1,74 @@
+"""End-to-end determinism: same (seed, params) ⇒ bit-identical runs.
+
+The dynamic oracle behind the static rules in ``repro.devtools``: a full
+:class:`GuessSimulation` — churn, pings, query bursts, malicious pongs —
+is run twice with ``trace_hash=True`` and the executed-event digests must
+match exactly.  A single out-of-order event, stray RNG draw, or unordered
+iteration anywhere in the stack changes the digest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+
+DURATION = 400.0
+
+
+def run_once(seed: int, *, percent_bad: float = 0.0,
+             behavior: BadPongBehavior = BadPongBehavior.DEAD):
+    """One small, full-featured run; returns (digest, report)."""
+    sim = GuessSimulation(
+        SystemParams(
+            network_size=100,
+            percent_bad_peers=percent_bad,
+            bad_pong_behavior=behavior,
+        ),
+        ProtocolParams(cache_size=30),
+        seed=seed,
+        trace_hash=True,
+    )
+    sim.run(DURATION)
+    report = sim.report()
+    return sim.trace_digest, report
+
+
+class TestSameSeedBitForBit:
+    def test_trace_digests_identical(self):
+        digest_a, report_a = run_once(7)
+        digest_b, report_b = run_once(7)
+        assert digest_a is not None
+        assert digest_a == digest_b
+        assert report_a.probes_per_query == report_b.probes_per_query
+        assert report_a.unsatisfied_rate == report_b.unsatisfied_rate
+        assert report_a.queries == report_b.queries
+
+    def test_different_seeds_diverge(self):
+        digest_a, _ = run_once(7)
+        digest_b, _ = run_once(8)
+        assert digest_a != digest_b
+
+    @pytest.mark.parametrize(
+        "behavior", [BadPongBehavior.DEAD, BadPongBehavior.BAD, BadPongBehavior.GOOD]
+    )
+    def test_malicious_rosters_are_deterministic(self, behavior):
+        """Regression for the set-ordered attack rosters (RD003 fixes).
+
+        ``AttackDirectory.sample_malicious`` / ``sample_good`` draw from
+        sets of live peers; before they sorted their pools, the pong
+        contents depended on set iteration order.  Colluding ``BAD`` pongs
+        exercise ``sample_malicious`` on every probe of a malicious peer.
+        """
+        digest_a, report_a = run_once(11, percent_bad=10.0, behavior=behavior)
+        digest_b, report_b = run_once(11, percent_bad=10.0, behavior=behavior)
+        assert digest_a == digest_b
+        assert report_a.probes_per_query == report_b.probes_per_query
+
+    def test_trace_digest_none_without_sanitizer(self):
+        sim = GuessSimulation(
+            SystemParams(network_size=50), ProtocolParams(), seed=3
+        )
+        sim.run(50.0)
+        assert sim.trace_digest is None

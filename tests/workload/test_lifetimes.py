@@ -29,7 +29,9 @@ class TestSyntheticSample:
         assert min(sample) >= MIN_LIFETIME_S
 
     def test_deterministic(self):
-        assert synthesize_lifetime_sample(size=10) == synthesize_lifetime_sample(size=10)
+        assert synthesize_lifetime_sample(size=10) == synthesize_lifetime_sample(
+            size=10
+        )
 
     def test_median_near_configured(self):
         sample = sorted(synthesize_lifetime_sample(size=20_000))
