@@ -10,21 +10,33 @@ Benchmarks wrap whole simulation sweeps, so every one uses
 ``benchmark.pedantic(rounds=1, iterations=1)``: the quantity being
 "benchmarked" is the wall-clock cost of regenerating the artifact, and
 re-running a multi-second sweep five times would add nothing.
+
+Artifact collection is parallel-safe: each pytest process appends to its
+own part file under ``bench_artifacts.d/`` (keyed by xdist worker id and
+pid), and the controller process merges the parts into
+``bench_artifacts.txt`` at session finish.  Concurrent workers therefore
+never interleave writes inside one file, and a plain serial run still
+produces the same single merged artifact file.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import shutil
 
 import pytest
 
 from repro.experiments.profiles import Profile
 
-#: Rendered artifacts are also appended here (pytest captures stdout for
-#: passing tests, so the printed tables would otherwise be lost).
+#: Final merged artifacts file (pytest captures stdout for passing
+#: tests, so the printed tables would otherwise be lost).
 ARTIFACTS_PATH = pathlib.Path(__file__).resolve().parent.parent / (
     "bench_artifacts.txt"
 )
+
+#: Per-process part files live here until the controller merges them.
+PARTS_DIR = ARTIFACTS_PATH.parent / "bench_artifacts.d"
 
 #: The benchmark-scale profile (between the test "micro" and "smoke").
 BENCH = Profile(
@@ -41,34 +53,65 @@ BENCH = Profile(
 )
 
 
+def _sink_path() -> pathlib.Path:
+    """This process's private part file.
+
+    The name embeds the xdist worker id (``gw0``, ``gw1``, ... — or
+    ``main`` when not under xdist) and the pid, so two processes can
+    never share a sink even across unusual spawn configurations.
+    """
+    worker = os.environ.get("PYTEST_XDIST_WORKER", "main")
+    return PARTS_DIR / f"{worker}-{os.getpid()}.part"
+
+
 @pytest.fixture(scope="session")
 def bench_profile() -> Profile:
     return BENCH
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _fresh_artifacts_file():
-    """Start each benchmark session with an empty artifacts file."""
-    ARTIFACTS_PATH.write_text(
-        "Regenerated artifacts from `pytest benchmarks/ --benchmark-only`\n"
-        f"(profile: {BENCH.name}; see benchmarks/conftest.py)\n\n"
-    )
+def _fresh_artifacts_sink():
+    """Start each process's session with an empty part file."""
+    PARTS_DIR.mkdir(exist_ok=True)
+    _sink_path().write_text("")
     yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge part files into ``bench_artifacts.txt`` (controller only).
+
+    xdist workers carry a ``workerinput`` attribute on their config; they
+    skip the merge and leave it to the controller, which runs last.
+    """
+    if hasattr(session.config, "workerinput"):
+        return
+    if not PARTS_DIR.is_dir():
+        return
+    parts = sorted(PARTS_DIR.glob("*.part"))
+    body = "".join(part.read_text(encoding="utf-8") for part in parts)
+    if body:
+        ARTIFACTS_PATH.write_text(
+            "Regenerated artifacts from `pytest benchmarks/ "
+            "--benchmark-only`\n"
+            f"(profile: {BENCH.name}; see benchmarks/conftest.py)\n\n"
+            + body
+        )
+    shutil.rmtree(PARTS_DIR, ignore_errors=True)
 
 
 def run_and_report(benchmark, producer, *args):
     """Benchmark ``producer(*args)`` once and report what it regenerated.
 
     ``producer`` returns an ExperimentResult or a list of them.  The
-    rendering is printed (visible with ``-s``) and appended to
-    ``bench_artifacts.txt`` (always), so a plain captured run still
-    leaves the regenerated tables on disk.
+    rendering is printed (visible with ``-s``) and appended to this
+    process's artifact sink (always), so a plain captured run still
+    leaves the regenerated tables on disk after the session merge.
     """
     results = benchmark.pedantic(producer, args=args, rounds=1, iterations=1)
     if not isinstance(results, list):
         results = [results]
     print()
-    with ARTIFACTS_PATH.open("a", encoding="utf-8") as sink:
+    with _sink_path().open("a", encoding="utf-8") as sink:
         for result in results:
             rendered = result.render()
             print(rendered)

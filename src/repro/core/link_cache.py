@@ -18,7 +18,7 @@ paper's rules, all enforced here:
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.entry import CacheEntry
 from repro.core.policies import Policy
@@ -62,6 +62,14 @@ class LinkCache:
         """Snapshot list of entries (insertion-ordered)."""
         return list(self._entries.values())
 
+    def iter_entries(self) -> Iterable[CacheEntry]:
+        """Live view of the entries (insertion-ordered), no copy.
+
+        For read-only hot paths (health sampling); callers must not
+        mutate the cache while iterating — use :meth:`entries` for that.
+        """
+        return self._entries.values()
+
     def addresses(self) -> Iterator[Address]:
         """Iterate over cached addresses."""
         return iter(self._entries.keys())
@@ -99,9 +107,11 @@ class LinkCache:
             self._entries[address] = entry
             return True
         # Full: the incoming entry competes with residents for a slot.
-        contestants = list(self._entries.values())
-        contestants.append(entry)
-        victim = replacement.choose_victim(contestants, now, rng)
+        # choose_victim_from picks the same victim choose_victim would
+        # over list(residents) + [entry], minus the combined-list copy.
+        victim = replacement.choose_victim_from(
+            self._entries.values(), len(self._entries), entry, now, rng
+        )
         if victim is None or victim.address == address:
             return False
         del self._entries[victim.address]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.entry import CacheEntry
+from repro.core.live_index import LiveAddressIndex
 from repro.core.malicious import AttackDirectory, MaliciousPeer
 from repro.core.params import (
     ProtocolParams,
@@ -134,6 +135,9 @@ class GuessSimulation:
         ghosts = self._allocator.allocate_many(GHOST_ADDRESS_COUNT)
         self.directory = AttackDirectory(ghost_addresses=ghosts)
         self._peers: Dict[Address, GuessPeer] = {}
+        # Mirrors _peers' key order; gives _pick_friend O(log n) sampling
+        # without rebuilding an address list per churn event.
+        self._live_index = LiveAddressIndex()
         self._harvested: set[Address] = set()
         self._health_interval = health_sample_interval
         self._reported = False
@@ -267,6 +271,7 @@ class GuessSimulation:
             peer = GuessPeer(address, **common)
 
         self._peers[address] = peer
+        self._live_index.add(address)
         self.transport.register(address, peer)
         self.directory.record_birth(address, malicious)
         if is_rebirth:
@@ -277,25 +282,28 @@ class GuessSimulation:
 
         self.engine.schedule(
             peer.death_time,
-            lambda: self._on_death(peer),
+            self._on_death,
             priority=EventPriority.DEATH,
             label="death",
+            args=(peer,),
         )
         # De-synchronise ping phases so capacity windows see smooth load.
         phase = self.rng.stream("phases").random() * self.protocol.ping_interval
         self.engine.schedule(
             now + phase,
-            lambda: self._ping_cycle(peer),
+            self._ping_cycle,
             priority=EventPriority.PROTOCOL,
             label="ping",
+            args=(peer,),
         )
         if not malicious and self.system.query_rate > 0:
             delay = self.bursts.next_burst_delay(self.rng.stream("queries"))
             self.engine.schedule(
                 now + delay,
-                lambda: self._query_burst(peer),
+                self._query_burst,
                 priority=EventPriority.QUERY,
                 label="burst",
+                args=(peer,),
             )
         return peer
 
@@ -329,6 +337,7 @@ class GuessSimulation:
         if address not in self._peers:  # already handled (defensive)
             return
         del self._peers[address]
+        self._live_index.discard(address)
         self.transport.unregister(address)
         self.directory.record_death(address)
         self.collector.record_death(now)
@@ -342,22 +351,24 @@ class GuessSimulation:
         friend = self._pick_friend()
         self.engine.schedule(
             now,
-            lambda: self._spawn_peer(
-                now, malicious=malicious, friend=friend, is_rebirth=True
-            ),
+            self._spawn_peer,
             priority=EventPriority.BIRTH,
             label="birth",
+            args=(now, malicious, friend, True),
         )
 
     def _pick_friend(self) -> Optional[GuessPeer]:
-        """One uniformly random live peer (the newborn's "friend")."""
-        if not self._peers:
+        """One uniformly random live peer (the newborn's "friend").
+
+        The live index mirrors ``_peers``' insertion order, so the k-th
+        live address equals ``list(self._peers.keys())[k]`` without the
+        O(n) list rebuild — same RNG draw, same friend, same digest.
+        """
+        count = len(self._live_index)
+        if not count:
             return None
-        addresses = list(self._peers.keys())
-        address = addresses[
-            self.rng.stream("topology").randrange(len(addresses))
-        ]
-        return self._peers[address]
+        k = self.rng.stream("topology").randrange(count)
+        return self._peers[self._live_index.kth(k)]
 
     def _harvest(self, peer: GuessPeer) -> None:
         """Absorb a peer's lifetime counters exactly once."""
@@ -380,9 +391,10 @@ class GuessSimulation:
         self._do_ping(peer, now)
         self.engine.schedule_after(
             self.protocol.ping_interval,
-            lambda: self._ping_cycle(peer),
+            self._ping_cycle,
             priority=EventPriority.PROTOCOL,
             label="ping",
+            args=(peer,),
         )
 
     def _do_ping(self, peer: GuessPeer, now: float) -> None:
@@ -434,9 +446,10 @@ class GuessSimulation:
         if delay != float("inf"):
             self.engine.schedule_after(
                 delay,
-                lambda: self._query_burst(peer),
+                self._query_burst,
                 priority=EventPriority.QUERY,
                 label="burst",
+                args=(peer,),
             )
 
     # ------------------------------------------------------------------
@@ -444,40 +457,48 @@ class GuessSimulation:
     # ------------------------------------------------------------------
 
     def _sample_health(self) -> None:
-        """Average link-cache health over live good peers, then reschedule."""
+        """Average link-cache health over live good peers, then reschedule.
+
+        Accumulates running sums in iteration order (no per-peer entry
+        list copies, no intermediate per-peer lists), which keeps every
+        float operation — and hence the sampled values — bit-identical to
+        the old list-then-``sum`` spelling.
+        """
         now = self.engine.now
         live = self._peers
         bad = self.directory.live_malicious
-        fractions: List[float] = []
-        absolutes: List[float] = []
-        goods: List[float] = []
-        fills: List[float] = []
+        fraction_sum = 0.0
+        fraction_n = 0
+        absolute_sum = 0.0
+        good_sum = 0.0
+        fill_sum = 0.0
+        sampled = 0
         for peer in live.values():
             if peer.malicious:
                 continue
-            entries = peer.link_cache.entries()
-            if not entries:
-                fills.append(0.0)
-                absolutes.append(0.0)
-                goods.append(0.0)
-                continue
+            sampled += 1
+            cache = peer.link_cache
+            size = len(cache)
+            if not size:
+                continue  # contributes 0.0 to every sum but fraction's n
             live_count = 0
             good_count = 0
-            for entry in entries:
+            for entry in cache.iter_entries():
                 if entry.address in live:
                     live_count += 1
                     if entry.address not in bad:
                         good_count += 1
-            fills.append(float(len(entries)))
-            fractions.append(live_count / len(entries))
-            absolutes.append(float(live_count))
-            goods.append(float(good_count))
+            fill_sum += float(size)
+            fraction_sum += live_count / size
+            fraction_n += 1
+            absolute_sum += float(live_count)
+            good_sum += float(good_count)
         sample = CacheHealthSample(
             time=now,
-            fraction_live=sum(fractions) / len(fractions) if fractions else 0.0,
-            absolute_live=sum(absolutes) / len(absolutes) if absolutes else 0.0,
-            good_entries=sum(goods) / len(goods) if goods else 0.0,
-            cache_fill=sum(fills) / len(fills) if fills else 0.0,
+            fraction_live=fraction_sum / fraction_n if fraction_n else 0.0,
+            absolute_live=absolute_sum / sampled if sampled else 0.0,
+            good_entries=good_sum / sampled if sampled else 0.0,
+            cache_fill=fill_sum / sampled if sampled else 0.0,
         )
         self.collector.record_health_sample(sample)
         if self._health_interval is not None:

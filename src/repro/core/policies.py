@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from itertools import chain
 from typing import Dict, Iterable, List, Optional, Sequence, Type
 
 from repro.core.entry import CacheEntry
@@ -112,6 +113,36 @@ class Policy(ABC):
             return None
         del rng
         return min(entries, key=lambda e: (self.key(e, now), -e.address))
+
+    def choose_victim_from(
+        self,
+        residents: Iterable[CacheEntry],
+        n_residents: int,
+        candidate: CacheEntry,
+        now: float,
+        rng: random.Random,
+    ) -> Optional[CacheEntry]:
+        """Victim among ``residents`` plus ``candidate`` — allocation-free.
+
+        The hot path of a full :class:`~repro.core.link_cache.LinkCache`:
+        semantically identical to
+        ``choose_victim(list(residents) + [candidate], now, rng)`` (the
+        candidate logically last, ties resolved identically) without
+        materialising the combined contestant list per insert.
+
+        Subclasses that override :meth:`choose_victim` but not this
+        method keep their exact semantics through the list-building
+        fallback below.
+        """
+        if type(self).choose_victim is not Policy.choose_victim:
+            contestants = list(residents)
+            contestants.append(candidate)
+            return self.choose_victim(contestants, now, rng)
+        del rng, n_residents
+        return min(
+            chain(residents, (candidate,)),
+            key=lambda e: (self.key(e, now), -e.address),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

@@ -18,7 +18,8 @@ functions through :data:`repro.core.policies.REPLACEMENT_KEY_POLICY`.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from itertools import islice
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.entry import CacheEntry
 from repro.core.policies import Policy, register_policy
@@ -80,6 +81,22 @@ class RandomPolicy(Policy):
         if not entries:
             return None
         return entries[rng.randrange(len(entries))]
+
+    def choose_victim_from(
+        self,
+        residents: Iterable[CacheEntry],
+        n_residents: int,
+        candidate: CacheEntry,
+        now: float,
+        rng: random.Random,
+    ) -> Optional[CacheEntry]:
+        # Same single randrange(n+1) draw and the same element the base
+        # spelling would index in list(residents) + [candidate], with no
+        # combined-list allocation.
+        i = rng.randrange(n_residents + 1)
+        if i == n_residents:
+            return candidate
+        return next(islice(iter(residents), i, None))
 
 
 @register_policy

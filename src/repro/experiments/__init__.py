@@ -19,7 +19,24 @@ to the table/series the paper reports.
 Run everything via ``python -m repro.experiments.run_all --profile quick``.
 """
 
+from repro.experiments.executor import (
+    ProcessTrialExecutor,
+    SerialTrialExecutor,
+    TrialExecutor,
+    TrialSpec,
+    get_executor,
+)
 from repro.experiments.profiles import PROFILES, Profile
 from repro.experiments.runner import ExperimentResult, run_guess_config
 
-__all__ = ["PROFILES", "Profile", "ExperimentResult", "run_guess_config"]
+__all__ = [
+    "PROFILES",
+    "Profile",
+    "ExperimentResult",
+    "run_guess_config",
+    "TrialExecutor",
+    "TrialSpec",
+    "SerialTrialExecutor",
+    "ProcessTrialExecutor",
+    "get_executor",
+]

@@ -21,6 +21,7 @@ from repro.baselines.extent import PopulationView
 from repro.core.entry import CacheEntry
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
 from repro.core.search import execute_query
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import (
     ExperimentResult,
@@ -36,7 +37,9 @@ from repro.network.transport import Transport
 PARALLEL_WALKERS = (1, 2, 5, 10)
 
 
-def run_parallel_ablation(profile: Profile) -> ExperimentResult:
+def run_parallel_ablation(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Fixed-k parallel probing: probes vs response time."""
     rows = []
     for k in PARALLEL_WALKERS:
@@ -47,6 +50,7 @@ def run_parallel_ablation(profile: Profile) -> ExperimentResult:
             warmup=profile.warmup,
             trials=profile.trials,
             base_seed=0xAB1,
+            executor=executor,
         )
         rows.append(
             (
@@ -69,7 +73,9 @@ def run_parallel_ablation(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_backoff_ablation(profile: Profile) -> ExperimentResult:
+def run_backoff_ablation(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """The DoBackoff flag under tight capacity and the MR stack."""
     rows = []
     for do_backoff in (False, True):
@@ -84,6 +90,7 @@ def run_backoff_ablation(profile: Profile) -> ExperimentResult:
             warmup=profile.warmup,
             trials=profile.trials,
             base_seed=0xAB2,
+            executor=executor,
         )
         rows.append(
             (
@@ -318,7 +325,9 @@ PONG_SIZES = (0, 1, 5, 10)
 INTRO_PROBS = (0.0, 0.1, 0.5)
 
 
-def run_pong_size_ablation(profile: Profile) -> ExperimentResult:
+def run_pong_size_ablation(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """PongSize: how much entry-sharing does search need?
 
     PongSize drives both the query cache (how far one query can chain
@@ -336,6 +345,7 @@ def run_pong_size_ablation(profile: Profile) -> ExperimentResult:
             warmup=profile.warmup,
             trials=profile.trials,
             base_seed=0xAB3 + pong_size,
+            executor=executor,
         )
         rows.append(
             (
@@ -357,7 +367,9 @@ def run_pong_size_ablation(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_intro_prob_ablation(profile: Profile) -> ExperimentResult:
+def run_intro_prob_ablation(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """IntroProb: how much introduction does the network need?
 
     Introduction is how newcomers enter other peers' caches (§2.2).
@@ -377,6 +389,7 @@ def run_intro_prob_ablation(profile: Profile) -> ExperimentResult:
             warmup=profile.warmup,
             trials=profile.trials,
             base_seed=0xAB4 + int(intro_prob * 100),
+            executor=executor,
         )
         rows.append(
             (
@@ -398,14 +411,20 @@ def run_intro_prob_ablation(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
-    """All seven ablations."""
-    return [
-        run_parallel_ablation(profile),
-        run_backoff_ablation(profile),
-        run_adaptive_search_ablation(profile),
-        run_detection_ablation(profile),
-        run_selfish_ablation(profile),
-        run_pong_size_ablation(profile),
-        run_intro_prob_ablation(profile),
-    ]
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
+    """All seven ablations.
+
+    The adaptive-search, detection, and selfish ablations instrument live
+    simulation objects (mutate hooks / bespoke drivers), so they always
+    run in-process; the other four fan their trials out over ``workers``.
+    """
+    with get_executor(workers) as executor:
+        return [
+            run_parallel_ablation(profile, executor),
+            run_backoff_ablation(profile, executor),
+            run_adaptive_search_ablation(profile),
+            run_detection_ablation(profile),
+            run_selfish_ablation(profile),
+            run_pong_size_ablation(profile, executor),
+            run_intro_prob_ablation(profile, executor),
+        ]

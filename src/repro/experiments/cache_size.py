@@ -22,6 +22,7 @@ from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import (
     ExperimentResult,
@@ -41,6 +42,7 @@ SweepKey = Tuple[int, int]  # (network_size, cache_size)
 def sweep_cache_sizes(
     profile: Profile,
     network_sizes: Tuple[int, ...] | None = None,
+    executor: TrialExecutor | None = None,
 ) -> Dict[SweepKey, dict]:
     """Run the (NetworkSize × CacheSize) grid once; share across figures.
 
@@ -67,6 +69,7 @@ def sweep_cache_sizes(
                 warmup=profile.warmup,
                 trials=profile.trials,
                 base_seed=hash_seed(n, cache_size),
+                executor=executor,
             )
             results[(n, cache_size)] = {
                 "probes_per_query": averaged(reports, "probes_per_query"),
@@ -178,9 +181,10 @@ def run_fig5(
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Table 3 + Figures 3-5 from a single shared sweep."""
-    sweep = sweep_cache_sizes(profile)
+    with get_executor(workers) as executor:
+        sweep = sweep_cache_sizes(profile, executor=executor)
     reference_only = {
         key: value
         for key, value in sweep.items()

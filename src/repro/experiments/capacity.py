@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import (
     ExperimentResult,
@@ -33,6 +34,7 @@ def sweep_capacity(
     profile: Profile,
     network_sizes: Sequence[int] | None = None,
     capacities: Sequence[int] = CAPACITIES,
+    executor: TrialExecutor | None = None,
 ) -> Dict[Tuple[int, int], Dict[str, float]]:
     """(NetworkSize × MaxProbesPerSecond) grid under the MR policies."""
     sizes = tuple(network_sizes or profile.network_sizes)
@@ -50,6 +52,7 @@ def sweep_capacity(
                 warmup=profile.warmup,
                 trials=profile.trials,
                 base_seed=n * 31 + capacity,
+                executor=executor,
             )
             results[(n, capacity)] = {
                 "good": averaged(reports, "good_probes_per_query"),
@@ -119,7 +122,8 @@ def run_fig15(
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Figures 14 and 15 from one shared sweep."""
-    sweep = sweep_capacity(profile)
+    with get_executor(workers) as executor:
+        sweep = sweep_capacity(profile, executor=executor)
     return [run_fig14(profile, sweep), run_fig15(profile, sweep)]

@@ -1,0 +1,189 @@
+"""Parallel trial execution for experiment sweeps.
+
+The paper's evaluation is ~20 figures/tables, each a sweep of
+*independent* seeded :class:`~repro.core.network_sim.GuessSimulation`
+runs — an embarrassingly parallel workload the serial runner left on one
+core.  This module supplies the missing abstraction:
+
+* :class:`TrialSpec` — a frozen, picklable description of one seeded
+  trial (the seed is derived *before* dispatch, in the parent, so worker
+  placement can never change which seed a trial gets);
+* :func:`execute_trial` — a module-level worker function (picklable by
+  reference) that builds, runs, and reports one simulation;
+* :class:`TrialExecutor` — the strategy interface, with
+  :class:`SerialTrialExecutor` (in-process, zero overhead) and
+  :class:`ProcessTrialExecutor` (a lazily started
+  :class:`~concurrent.futures.ProcessPoolExecutor`) implementations;
+* :func:`get_executor` — the ``workers=N`` factory used by
+  :func:`~repro.experiments.runner.run_guess_config`, every suite's
+  ``run_suite(..., workers=N)``, and ``run_all --workers N``.
+
+Determinism guarantee: each trial owns a private
+:class:`~repro.sim.rng.RngRegistry` seeded from its spec — no RNG state
+is shared between trials, processes inherit nothing mutable — and
+results are returned **in spec order** regardless of completion order.
+A parallel sweep is therefore byte-identical to the serial one, which
+``tests/experiments/test_executor.py`` asserts report-by-report.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import ProtocolParams, SystemParams
+from repro.errors import ConfigError
+from repro.metrics.collectors import SimulationReport
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything needed to run one seeded trial, picklable.
+
+    Attributes:
+        system / protocol: the configuration under test.
+        duration: measured simulation seconds (after warmup).
+        warmup: seconds before metrics collection starts.
+        seed: the trial's master seed, already derived by the caller.
+        keep_queries: retain per-query records in the report.
+        health_sample_interval: cache-health sampling period (None = off).
+        trace_hash: enable the engine's determinism sanitizer.
+    """
+
+    system: SystemParams
+    protocol: ProtocolParams
+    duration: float
+    warmup: float
+    seed: int
+    keep_queries: bool = False
+    health_sample_interval: Optional[float] = 60.0
+    trace_hash: bool = False
+
+
+def execute_trial(spec: TrialSpec) -> SimulationReport:
+    """Run one trial to completion (module-level, hence process-picklable)."""
+    sim = GuessSimulation(
+        spec.system,
+        spec.protocol,
+        seed=spec.seed,
+        warmup=spec.warmup,
+        keep_queries=spec.keep_queries,
+        health_sample_interval=spec.health_sample_interval,
+        trace_hash=spec.trace_hash,
+    )
+    sim.run(spec.warmup + spec.duration)
+    return sim.report()
+
+
+_Item = TypeVar("_Item")
+
+
+class TrialExecutor(ABC):
+    """Strategy for running batches of independent, picklable work items.
+
+    Executors are reusable across many batches (a suite runs one executor
+    over every sweep cell) and are context managers; :meth:`close` is
+    idempotent.  The core primitive is :meth:`map` — order-preserving
+    application of a module-level function — with :meth:`run_trials` as
+    the :class:`TrialSpec` convenience wrapper.
+    """
+
+    #: Degree of parallelism this executor targets (1 for serial).
+    workers: int = 1
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[_Item], Any],
+        items: Iterable[_Item],
+    ) -> List[Any]:
+        """Apply ``fn`` to every item; results come back **in item order**.
+
+        ``fn`` must be a module-level callable and the items picklable
+        when the executor is process-backed.
+        """
+
+    def run_trials(self, specs: Sequence[TrialSpec]) -> List[SimulationReport]:
+        """Run every spec; reports are returned **in spec order**."""
+        return self.map(execute_trial, specs)
+
+    def close(self) -> None:
+        """Release any pooled resources (default: nothing to release)."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialTrialExecutor(TrialExecutor):
+    """Run work items one after another in the calling process."""
+
+    workers = 1
+
+    def map(
+        self,
+        fn: Callable[[_Item], Any],
+        items: Iterable[_Item],
+    ) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class ProcessTrialExecutor(TrialExecutor):
+    """Run work items on a pool of worker processes.
+
+    The pool starts lazily on the first multi-item batch and is reused
+    for the executor's lifetime, so per-sweep-cell pool spin-up is paid
+    once per suite, not once per configuration.  Single-item batches run
+    in-process: dispatch/pickling overhead would only add latency.
+
+    Args:
+        workers: pool size; ``None`` or 0 means ``os.cpu_count()``.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        resolved = workers or os.cpu_count() or 1
+        if resolved < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = int(resolved)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def map(
+        self,
+        fn: Callable[[_Item], Any],
+        items: Iterable[_Item],
+    ) -> List[Any]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        # Executor.map preserves input order regardless of which worker
+        # finishes first — the trial-order-stability guarantee.
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def get_executor(workers: Optional[int]) -> TrialExecutor:
+    """The executor for a ``workers=N`` request.
+
+    ``None`` or 1 selects the serial executor; 0 means "one worker per
+    CPU"; N > 1 selects a process pool of exactly N workers.
+
+    Raises:
+        ConfigError: for negative worker counts.
+    """
+    if workers is not None and workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if workers is None or workers == 1:
+        return SerialTrialExecutor()
+    return ProcessTrialExecutor(workers)

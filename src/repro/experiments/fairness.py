@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import ExperimentResult, run_guess_config
 from repro.metrics.load import LoadDistribution, merge_loads
@@ -31,7 +32,11 @@ SERIES_POINTS = 40
 
 
 def measure_load_distribution(
-    profile: Profile, query_probe: str, cache_replacement: str, base_seed: int
+    profile: Profile,
+    query_probe: str,
+    cache_replacement: str,
+    base_seed: int,
+    executor: TrialExecutor | None = None,
 ) -> LoadDistribution:
     """Run one combo and merge per-peer loads across trials."""
     protocol = ProtocolParams(
@@ -46,18 +51,25 @@ def measure_load_distribution(
         warmup=profile.warmup,
         trials=profile.trials,
         base_seed=base_seed,
+        executor=executor,
     )
     return LoadDistribution(merge_loads([r.loads for r in reports]))
 
 
-def run_fig13(profile: Profile) -> ExperimentResult:
+def run_fig13(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Figure 13: ranked load per policy combination."""
     series: Dict[str, Sequence[Tuple[float, float]]] = {}
     rows: List[tuple] = []
     for index, (probe, replacement) in enumerate(COMBOS):
         label = f"{probe}/{replacement}"
         dist = measure_load_distribution(
-            profile, probe, replacement, base_seed=0xF13 + index
+            profile,
+            probe,
+            replacement,
+            base_seed=0xF13 + index,
+            executor=executor,
         )
         series[label] = [
             (float(rank), float(load))
@@ -88,6 +100,7 @@ def run_fig13(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Figure 13."""
-    return [run_fig13(profile)]
+    with get_executor(workers) as executor:
+        return [run_fig13(profile, executor)]

@@ -27,6 +27,7 @@ from repro.baselines.extent import PopulationView
 from repro.baselines.gnutella import fixed_extent_tradeoff
 from repro.baselines.iterative_deepening import IterativeDeepeningSearch
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import (
     ExperimentResult,
@@ -48,7 +49,9 @@ def _log_spaced_extents(max_extent: int, points: int = 24) -> List[int]:
     return sorted(extents)
 
 
-def run_fig8(profile: Profile) -> ExperimentResult:
+def run_fig8(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Figure 8: unsatisfaction vs average query cost for each mechanism."""
     n = profile.reference_size
     max_extent = min(profile.max_extent, n)
@@ -79,6 +82,7 @@ def run_fig8(profile: Profile) -> ExperimentResult:
             warmup=profile.warmup,
             trials=profile.trials,
             base_seed=0xF1608,
+            executor=executor,
         )
         guess_points[label] = (
             averaged(reports, "probes_per_query"),
@@ -114,6 +118,7 @@ def run_fig8(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Figure 8."""
-    return [run_fig8(profile)]
+    with get_executor(workers) as executor:
+        return [run_fig8(profile, executor)]

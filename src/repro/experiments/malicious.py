@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import (
     ExperimentResult,
@@ -41,6 +42,7 @@ def sweep_malicious(
     bad_percents: Sequence[float] = BAD_PERCENTS,
     policies: Sequence[str] = POLICIES,
     cache_size: int | None = None,
+    executor: TrialExecutor | None = None,
 ) -> Dict[Tuple[str, float], Dict[str, float]]:
     """(policy × PercentBadPeers) grid for one BadPongBehavior.
 
@@ -69,6 +71,7 @@ def sweep_malicious(
                 warmup=profile.warmup,
                 trials=profile.trials,
                 base_seed=0xBAD + p_index * 101 + b_index,
+                executor=executor,
             )
             results[(policy, bad)] = {
                 "probes": averaged(reports, "probes_per_query"),
@@ -129,21 +132,32 @@ def _three_figures(
 
 
 def run_fig16_18(
-    profile: Profile, cache_size: int | None = None
+    profile: Profile,
+    cache_size: int | None = None,
+    executor: TrialExecutor | None = None,
 ) -> List[ExperimentResult]:
     """Figures 16, 17, 18: the non-colluding (Dead-pong) attack."""
-    sweep = sweep_malicious(profile, BadPongBehavior.DEAD, cache_size=cache_size)
+    sweep = sweep_malicious(
+        profile, BadPongBehavior.DEAD, cache_size=cache_size, executor=executor
+    )
     return _three_figures(sweep, ("fig16", "fig17", "fig18"), collusion=False)
 
 
 def run_fig19_21(
-    profile: Profile, cache_size: int | None = None
+    profile: Profile,
+    cache_size: int | None = None,
+    executor: TrialExecutor | None = None,
 ) -> List[ExperimentResult]:
     """Figures 19, 20, 21: the colluding (Bad-pong) attack."""
-    sweep = sweep_malicious(profile, BadPongBehavior.BAD, cache_size=cache_size)
+    sweep = sweep_malicious(
+        profile, BadPongBehavior.BAD, cache_size=cache_size, executor=executor
+    )
     return _three_figures(sweep, ("fig19", "fig20", "fig21"), collusion=True)
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Figures 16-21."""
-    return run_fig16_18(profile) + run_fig19_21(profile)
+    with get_executor(workers) as executor:
+        return run_fig16_18(profile, executor=executor) + run_fig19_21(
+            profile, executor=executor
+        )

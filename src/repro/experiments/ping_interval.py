@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.summary import mean
@@ -43,6 +44,35 @@ FIG7_CACHE_SIZE = 20
 SNAPSHOTS_PER_RUN = 3
 
 
+def _lcc_trial(spec: tuple) -> List[float]:
+    """One ping-only trial's late-run LCC snapshots (picklable worker)."""
+    network_size, cache_size, ping_interval, duration, seed = spec
+    system = SystemParams(
+        network_size=network_size,
+        query_rate=0.0,
+        lifespan_multiplier=CHURN_STRESS_MULTIPLIER,
+    )
+    protocol = ProtocolParams(
+        cache_size=min(cache_size, network_size),
+        ping_interval=ping_interval,
+    )
+    sim = GuessSimulation(
+        system,
+        protocol,
+        seed=seed,
+        health_sample_interval=None,  # no metrics needed; LCC only
+    )
+    # Let churn and maintenance reach steady state, then sample the
+    # LCC a few times across the final third of the run.
+    sim.run(duration * 2.0 / 3.0)
+    step = duration / 3.0 / SNAPSHOTS_PER_RUN
+    lccs: List[float] = []
+    for _ in range(SNAPSHOTS_PER_RUN):
+        sim.run(step)
+        lccs.append(float(sim.snapshot_overlay().largest_component_size()))
+    return lccs
+
+
 def measure_lcc(
     network_size: int,
     cache_size: int,
@@ -51,41 +81,35 @@ def measure_lcc(
     duration: float,
     trials: int,
     base_seed: int = 0,
+    executor: TrialExecutor | None = None,
 ) -> float:
     """Mean largest-connected-component size for one configuration.
 
     Runs a ping-only network (no queries) and averages the LCC over
-    several late-run snapshots and over trials.
+    several late-run snapshots and over trials.  Trials are independent
+    (seeds derived here, snapshots concatenated in trial order), so a
+    process-backed ``executor`` yields the identical mean.
     """
-    lccs: List[float] = []
-    for trial in range(trials):
-        seed = derive_seed(base_seed, f"lcc:{trial}")
-        system = SystemParams(
-            network_size=network_size,
-            query_rate=0.0,
-            lifespan_multiplier=CHURN_STRESS_MULTIPLIER,
+    specs = [
+        (
+            network_size,
+            cache_size,
+            ping_interval,
+            duration,
+            derive_seed(base_seed, f"lcc:{trial}"),
         )
-        protocol = ProtocolParams(
-            cache_size=min(cache_size, network_size),
-            ping_interval=ping_interval,
-        )
-        sim = GuessSimulation(
-            system,
-            protocol,
-            seed=seed,
-            health_sample_interval=None,  # no metrics needed; LCC only
-        )
-        # Let churn and maintenance reach steady state, then sample the
-        # LCC a few times across the final third of the run.
-        sim.run(duration * 2.0 / 3.0)
-        step = duration / 3.0 / SNAPSHOTS_PER_RUN
-        for _ in range(SNAPSHOTS_PER_RUN):
-            sim.run(step)
-            lccs.append(float(sim.snapshot_overlay().largest_component_size()))
-    return mean(lccs)
+        for trial in range(trials)
+    ]
+    if executor is None:
+        chunks = [_lcc_trial(spec) for spec in specs]
+    else:
+        chunks = executor.map(_lcc_trial, specs)
+    return mean([lcc for chunk in chunks for lcc in chunk])
 
 
-def run_fig6(profile: Profile) -> ExperimentResult:
+def run_fig6(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Figure 6: LCC vs PingInterval, one series per CacheSize."""
     n = profile.reference_size
     series: Dict[str, List[Tuple[float, float]]] = {}
@@ -101,6 +125,7 @@ def run_fig6(profile: Profile) -> ExperimentResult:
                 duration=profile.total_time,
                 trials=profile.trials,
                 base_seed=cache * 7919,
+                executor=executor,
             )
             series.setdefault(label, []).append((interval, lcc))
     return ExperimentResult(
@@ -115,7 +140,9 @@ def run_fig6(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_fig7(profile: Profile) -> ExperimentResult:
+def run_fig7(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Figure 7: relative LCC vs PingInterval, one series per NetworkSize."""
     series: Dict[str, List[Tuple[float, float]]] = {}
     for n in profile.network_sizes:
@@ -128,6 +155,7 @@ def run_fig7(profile: Profile) -> ExperimentResult:
                 duration=profile.total_time,
                 trials=profile.trials,
                 base_seed=n * 104729,
+                executor=executor,
             )
             series.setdefault(label, []).append((interval, lcc / n))
     return ExperimentResult(
@@ -142,6 +170,7 @@ def run_fig7(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Figures 6 and 7."""
-    return [run_fig6(profile), run_fig7(profile)]
+    with get_executor(workers) as executor:
+        return [run_fig6(profile, executor), run_fig7(profile, executor)]

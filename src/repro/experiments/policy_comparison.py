@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, get_executor
 from repro.experiments.profiles import Profile
 from repro.experiments.runner import (
     ExperimentResult,
@@ -33,7 +34,10 @@ REPLACEMENT_POLICIES = ("Random", "LRU", "MRU", "LFS", "LR")
 
 
 def _measure(
-    profile: Profile, protocol: ProtocolParams, base_seed: int
+    profile: Profile,
+    protocol: ProtocolParams,
+    base_seed: int,
+    executor: TrialExecutor | None = None,
 ) -> Dict[str, float]:
     reports = run_guess_config(
         SystemParams(network_size=profile.reference_size),
@@ -42,6 +46,7 @@ def _measure(
         warmup=profile.warmup,
         trials=profile.trials,
         base_seed=base_seed,
+        executor=executor,
     )
     return {
         "good": averaged(reports, "good_probes_per_query"),
@@ -52,14 +57,18 @@ def _measure(
 
 
 def _policy_sweep(
-    profile: Profile, role: str, policies: Tuple[str, ...], seed_salt: int
+    profile: Profile,
+    role: str,
+    policies: Tuple[str, ...],
+    seed_salt: int,
+    executor: TrialExecutor | None = None,
 ) -> Dict[str, Dict[str, float]]:
     """Measure one protocol role across its policy menu."""
     results: Dict[str, Dict[str, float]] = {}
     for index, policy in enumerate(policies):
         protocol = ProtocolParams(**{role: policy})
         results[policy] = _measure(
-            profile, protocol, base_seed=seed_salt + index
+            profile, protocol, base_seed=seed_salt + index, executor=executor
         )
     return results
 
@@ -83,9 +92,13 @@ def _probe_breakdown_result(
     )
 
 
-def run_fig9(profile: Profile) -> ExperimentResult:
+def run_fig9(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Figure 9: probes/query for each QueryProbe policy."""
-    results = _policy_sweep(profile, "query_probe", ORDERING_POLICIES, 0x909)
+    results = _policy_sweep(
+        profile, "query_probe", ORDERING_POLICIES, 0x909, executor
+    )
     return _probe_breakdown_result(
         "fig9",
         "Probes/Query for different QueryProbe policies",
@@ -94,9 +107,13 @@ def run_fig9(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_fig10_12(profile: Profile) -> List[ExperimentResult]:
+def run_fig10_12(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> List[ExperimentResult]:
     """Figures 10 and 12 share the QueryPong sweep."""
-    results = _policy_sweep(profile, "query_pong", ORDERING_POLICIES, 0xA10)
+    results = _policy_sweep(
+        profile, "query_pong", ORDERING_POLICIES, 0xA10, executor
+    )
     fig10 = _probe_breakdown_result(
         "fig10",
         "Probes/Query for different QueryPong policies",
@@ -125,10 +142,12 @@ def run_fig12(profile: Profile) -> ExperimentResult:
     return run_fig10_12(profile)[1]
 
 
-def run_fig11(profile: Profile) -> ExperimentResult:
+def run_fig11(
+    profile: Profile, executor: TrialExecutor | None = None
+) -> ExperimentResult:
     """Figure 11: probes/query for each CacheReplacement policy."""
     results = _policy_sweep(
-        profile, "cache_replacement", REPLACEMENT_POLICIES, 0xB11
+        profile, "cache_replacement", REPLACEMENT_POLICIES, 0xB11, executor
     )
     return _probe_breakdown_result(
         "fig11",
@@ -139,7 +158,13 @@ def run_fig11(profile: Profile) -> ExperimentResult:
     )
 
 
-def run_suite(profile: Profile) -> List[ExperimentResult]:
+def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
     """Figures 9, 10, 11, 12."""
-    fig10, fig12 = run_fig10_12(profile)
-    return [run_fig9(profile), fig10, run_fig11(profile), fig12]
+    with get_executor(workers) as executor:
+        fig10, fig12 = run_fig10_12(profile, executor)
+        return [
+            run_fig9(profile, executor),
+            fig10,
+            run_fig11(profile, executor),
+            fig12,
+        ]

@@ -113,7 +113,21 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="also write the rendered results to this file",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run each configuration's trials on N worker processes "
+            "(0 = one per CPU, default: 1 = serial); results are "
+            "byte-identical to a serial run — seeds derive per trial "
+            "before dispatch and reports return in trial order"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
 
     profile = get_profile(args.profile)
     suites = resolve_suites(args.only)
@@ -121,18 +135,29 @@ def main(argv: List[str] | None = None) -> int:
     blocks: List[str] = [
         f"GUESS reproduction — profile={profile.name} "
         f"(duration={profile.duration:.0f}s, warmup={profile.warmup:.0f}s, "
-        f"trials={profile.trials})"
+        f"trials={profile.trials}, workers={args.workers})"
     ]
+    timings: List[tuple] = []
     started = time.time()  # repro: allow-wallclock (reporting-only timing)
     for suite_name in suites:
         suite_started = time.time()  # repro: allow-wallclock
-        results: List[ExperimentResult] = SUITES[suite_name](profile)
+        results: List[ExperimentResult] = SUITES[suite_name](
+            profile, workers=args.workers
+        )
         elapsed = time.time() - suite_started  # repro: allow-wallclock
+        timings.append((suite_name, elapsed))
         blocks.append(f"-- suite {suite_name} ({elapsed:.1f}s) --")
         for result in results:
             blocks.append(result.render())
     total = time.time() - started  # repro: allow-wallclock
-    blocks.append(f"total wall time: {total:.1f}s")
+    summary = ["-- wall-clock summary --"]
+    for suite_name, elapsed in timings:
+        share = 100.0 * elapsed / total if total > 0 else 0.0
+        summary.append(f"{suite_name:<20} {elapsed:9.1f}s  ({share:4.1f}%)")
+    summary.append(
+        f"{'total wall time':<20} {total:9.1f}s  (workers={args.workers})"
+    )
+    blocks.append("\n".join(summary))
 
     text = "\n\n".join(blocks)
     print(text)

@@ -5,6 +5,12 @@ configuration for ``trials`` seeded repetitions and returns the reports;
 :func:`averaged` folds an attribute across them.  Experiments compose
 these into sweeps and package the output as
 :class:`ExperimentResult` records that the CLI renders.
+
+Trials are independent seeded runs, so ``workers=N`` (or an explicit
+:class:`~repro.experiments.executor.TrialExecutor`) fans them out over a
+process pool.  Seeds derive in the parent before dispatch and reports
+come back in trial order, so parallel output is byte-identical to
+serial output.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.executor import TrialExecutor, TrialSpec, get_executor
 from repro.metrics.collectors import SimulationReport
 from repro.metrics.summary import mean
 from repro.reporting.series import format_series_block
@@ -70,6 +77,8 @@ def run_guess_config(
     keep_queries: bool = False,
     health_sample_interval: Optional[float] = 60.0,
     mutate: Optional[Callable[[GuessSimulation], None]] = None,
+    workers: int = 1,
+    executor: Optional[TrialExecutor] = None,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
 
@@ -82,27 +91,50 @@ def run_guess_config(
         keep_queries: retain per-query records in the reports.
         health_sample_interval: cache-health sampling period (None = off).
         mutate: optional hook called with each simulation before running
-            (used by extension analyses to instrument internals).
+            (used by extension analyses to instrument internals).  A
+            mutate hook pins execution to this process — it pokes at live
+            simulation objects, which cannot cross a process boundary —
+            so it composes with ``workers``/``executor`` by ignoring them.
+        workers: trial-level parallelism; ``workers=N`` runs trials on N
+            worker processes (0 = one per CPU).  Reports are identical to
+            ``workers=1`` and arrive in the same (trial) order.
+        executor: run trials on this executor instead of building one
+            from ``workers`` (suites reuse one pool across a whole sweep).
 
     Returns:
-        One report per trial.
+        One report per trial, in trial order.
     """
-    reports: List[SimulationReport] = []
-    for trial in range(trials):
-        seed = derive_seed(base_seed, f"trial:{trial}")
-        sim = GuessSimulation(
-            system,
-            protocol,
-            seed=seed,
+    specs = [
+        TrialSpec(
+            system=system,
+            protocol=protocol,
+            duration=duration,
             warmup=warmup,
+            seed=derive_seed(base_seed, f"trial:{trial}"),
             keep_queries=keep_queries,
             health_sample_interval=health_sample_interval,
         )
-        if mutate is not None:
+        for trial in range(trials)
+    ]
+    if mutate is not None:
+        reports: List[SimulationReport] = []
+        for spec in specs:
+            sim = GuessSimulation(
+                system,
+                protocol,
+                seed=spec.seed,
+                warmup=warmup,
+                keep_queries=keep_queries,
+                health_sample_interval=health_sample_interval,
+            )
             mutate(sim)
-        sim.run(warmup + duration)
-        reports.append(sim.report())
-    return reports
+            sim.run(warmup + duration)
+            reports.append(sim.report())
+        return reports
+    if executor is not None:
+        return executor.run_trials(specs)
+    with get_executor(workers) as owned:
+        return owned.run_trials(specs)
 
 
 def averaged(

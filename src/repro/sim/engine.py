@@ -167,18 +167,23 @@ class Simulator:
     def schedule(
         self,
         time: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         *,
         priority: EventPriority = EventPriority.PROTOCOL,
         label: str = "",
+        args: tuple = (),
     ) -> EventHandle:
         """Schedule ``action`` to run at absolute time ``time``.
 
         Args:
             time: absolute simulation timestamp; must be >= ``now``.
-            action: zero-argument callable.
+            action: callable invoked as ``action(*args)`` when the event
+                fires.  Hot callers pass a bound method plus ``args``
+                rather than wrapping the call in a lambda, which avoids
+                allocating a closure (and its cell variables) per event.
             priority: tie-break class for same-time events.
             label: diagnostic tag.
+            args: positional arguments for ``action``.
 
         Returns:
             An :class:`EventHandle` usable to cancel the event.
@@ -196,6 +201,7 @@ class Simulator:
             seq=self._seq,
             action=action,
             label=label,
+            args=args,
         )
         self._seq += 1
         handle = EventHandle(event)
@@ -205,10 +211,11 @@ class Simulator:
     def schedule_after(
         self,
         delay: float,
-        action: Callable[[], Any],
+        action: Callable[..., Any],
         *,
         priority: EventPriority = EventPriority.PROTOCOL,
         label: str = "",
+        args: tuple = (),
     ) -> EventHandle:
         """Schedule ``action`` to run ``delay`` seconds from now.
 
@@ -218,7 +225,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.schedule(
-            self._now + delay, action, priority=priority, label=label
+            self._now + delay, action, priority=priority, label=label, args=args
         )
 
     # ------------------------------------------------------------------
@@ -235,7 +242,7 @@ class Simulator:
             self._tracer.fold(
                 event.time, int(event.priority), event.seq, event.label
             )
-        event.action()
+        event.action(*event.args)
 
     def step(self) -> bool:
         """Fire the single next pending event.

@@ -41,15 +41,21 @@ class Event:
         time: simulation timestamp (seconds) at which the event fires.
         priority: tie-break class for same-time events.
         seq: engine-assigned monotone sequence number (scheduling order).
-        action: zero-argument callable executed when the event fires.
+        action: callable executed when the event fires; invoked as
+            ``action(*args)``.
         label: human-readable tag used in engine traces and error messages.
+        args: positional arguments passed to ``action``.  Passing a bound
+            method plus ``args`` instead of a fresh closure keeps the hot
+            scheduling paths free of per-event cell allocations; ``args``
+            never participates in ordering or the trace digest.
     """
 
     time: float
     priority: EventPriority
     seq: int
-    action: Callable[[], Any] = field(compare=False)
+    action: Callable[..., Any] = field(compare=False)
     label: str = field(default="", compare=False)
+    args: tuple = field(default=(), compare=False)
 
     def sort_key(self) -> tuple[float, int, int]:
         """Total ordering used by the engine's heap."""

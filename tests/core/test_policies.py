@@ -171,3 +171,56 @@ class TestPolicySet:
         policies = PolicySet.from_protocol(ProtocolParams(query_probe="MR*"))
         assert policies.query_probe.name == "MR"
         assert policies.reset_num_results is True
+
+
+class TestChooseVictimFrom:
+    """The no-copy eviction contest must mirror the combined-list one.
+
+    ``choose_victim_from(residents, n, candidate, ...)`` is the hot-path
+    replacement for ``choose_victim(list(residents) + [candidate], ...)``
+    — same victim, same RNG consumption — for every registered policy
+    and for custom subclasses that only override ``choose_victim``.
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["LFS", "LR", "LR*", "LRU", "MRU", "Random"]
+    )
+    def test_matches_combined_list_spelling(self, name, entries):
+        policy = get_replacement_policy(name)
+        candidate = make_entry(9, ts=20.0, num_files=75, num_res=1)
+        rng_a = random.Random(99)
+        rng_b = random.Random(99)
+        expected = policy.choose_victim(entries + [candidate], 60.0, rng_a)
+        actual = policy.choose_victim_from(
+            entries, len(entries), candidate, 60.0, rng_b
+        )
+        assert actual is expected or actual == expected
+        # Identical RNG consumption: the streams stay in lockstep.
+        assert rng_a.random() == rng_b.random()
+
+    def test_candidate_can_be_the_victim(self, entries):
+        policy = get_replacement_policy("LRU")
+        # LRU evicts the oldest ts; make the candidate oldest.
+        candidate = make_entry(9, ts=1.0)
+        victim = policy.choose_victim_from(
+            entries, len(entries), candidate, 60.0, random.Random(0)
+        )
+        assert victim is candidate
+
+    def test_custom_subclass_fallback(self, entries):
+        """Overriding only choose_victim still works through the base."""
+        from repro.core.policies import Policy
+
+        class EvictHighestAddress(Policy):
+            def key(self, entry, now):
+                return 0.0
+
+            def choose_victim(self, contestants, now, rng):
+                return max(contestants, key=lambda e: e.address)
+
+        policy = EvictHighestAddress()
+        candidate = make_entry(999)
+        victim = policy.choose_victim_from(
+            entries, len(entries), candidate, 0.0, random.Random(0)
+        )
+        assert victim is candidate

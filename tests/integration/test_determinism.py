@@ -72,3 +72,31 @@ class TestSameSeedBitForBit:
         )
         sim.run(50.0)
         assert sim.trace_digest is None
+
+
+class TestGoldenDigests:
+    """Cross-version pins for the exact event stream.
+
+    The in-process comparisons above catch *nondeterminism*; these catch
+    *drift*: an optimization that is deterministic but subtly reorders
+    events, perturbs an RNG draw, or changes a float would pass every
+    same-seed test while silently changing every result in the repo.
+
+    The digests were recorded before the PR-2 kernel optimizations
+    (Fenwick-backed friend sampling, running-sum health snapshots,
+    no-copy eviction contests, args-based event dispatch) and those
+    optimizations were required to reproduce them bit-for-bit.  They
+    must never drift; a legitimate semantic change to the simulation
+    must say so loudly by re-recording them in the same commit.
+    """
+
+    def test_clean_network_digest_pinned(self):
+        digest, report = run_once(7)
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+        assert report.queries > 0
+
+    def test_colluding_attack_digest_pinned(self):
+        digest, _ = run_once(
+            11, percent_bad=10.0, behavior=BadPongBehavior.BAD
+        )
+        assert digest == "23d74325e25c2c9e44279d38a317edbe"
