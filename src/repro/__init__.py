@@ -47,6 +47,7 @@ from repro.errors import (
     TopologyError,
     WorkloadError,
 )
+from repro.faults import FaultPlan, RetryPolicy
 from repro.metrics import LoadDistribution, MetricsCollector, SimulationReport
 
 __version__ = "1.0.0"
@@ -65,6 +66,8 @@ __all__ = [
     "SystemParams",
     "execute_query",
     "registered_policy_names",
+    "FaultPlan",
+    "RetryPolicy",
     "ConfigError",
     "PolicyError",
     "ReproError",

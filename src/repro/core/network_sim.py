@@ -37,6 +37,9 @@ from repro.core.peer import GuessPeer
 from repro.core.policies import PolicySet
 from repro.core.search import execute_query
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, probe_with_retry
 from repro.metrics.collectors import (
     CacheHealthSample,
     MetricsCollector,
@@ -84,6 +87,12 @@ class GuessSimulation:
             (see :mod:`repro.network.latency`); defaults to the
             transport's constant model.  Affects only response-time
             metrics, never probe counts.
+        faults: optional :class:`~repro.faults.plan.FaultPlan` making
+            the wire unreliable (packet loss, brownouts, partitions,
+            jitter).  ``None`` or an all-zeros plan builds no injector
+            and reproduces the fault-free trace digest bit-for-bit.
+            Fault randomness draws only from ``fault:*`` substreams, so
+            protocol streams are never perturbed.
         trace_hash: enable the engine's determinism sanitizer — every
             fired event is folded into a digest exposed as
             :attr:`trace_digest`, so two same-``(seed, params)`` runs can
@@ -110,14 +119,25 @@ class GuessSimulation:
         keep_queries: bool = False,
         health_sample_interval: Optional[float] = DEFAULT_HEALTH_SAMPLE_INTERVAL,
         latency=None,
+        faults: Optional[FaultPlan] = None,
         trace_hash: bool = False,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
         self.engine = Simulator(trace_hash=trace_hash)
         self.rng = RngRegistry(seed)
+        self.faults = FaultInjector.from_plan(faults, self.rng)
         self.transport = Transport(
-            timeout=self.protocol.probe_spacing, latency=latency
+            timeout=self.protocol.probe_spacing,
+            latency=latency,
+            faults=self.faults,
+        )
+        # None when probe_retries == 0: the ping path then takes the
+        # exact single-send code path (no wrapper, no extra floats).
+        self._retry = (
+            RetryPolicy.from_protocol(self.protocol)
+            if self.protocol.probe_retries > 0
+            else None
         )
         self.collector = MetricsCollector(warmup=warmup, keep_queries=keep_queries)
         self.content = content or ContentModel()
@@ -398,25 +418,56 @@ class GuessSimulation:
         )
 
     def _do_ping(self, peer: GuessPeer, now: float) -> None:
-        """One maintenance ping per Section 2.2."""
+        """One maintenance ping per Section 2.2.
+
+        With ``probe_retries > 0`` a timed-out ping is re-sent per the
+        retry policy before the entry is declared dead — over a lossy
+        wire this is what separates corpse collection from wrongful
+        eviction of live neighbours.
+        """
         entry = peer.choose_ping_target(now)
         if entry is None:
             return
-        outcome = self.transport.probe(
-            peer.address, entry.address, peer.ping_message(), now
-        )
+        if self._retry is None:
+            outcome = self.transport.probe(
+                peer.address, entry.address, peer.ping_message(), now
+            )
+            retries = 0
+            recovered = False
+        else:
+            attempt = probe_with_retry(
+                self.transport,
+                self._retry,
+                peer.address,
+                entry.address,
+                peer.ping_message(),
+                now,
+            )
+            outcome = attempt.outcome
+            retries = attempt.retries
+            recovered = attempt.recovered
         if outcome.status is ProbeStatus.TIMEOUT:
-            peer.link_cache.evict(entry.address)
-            self.collector.record_ping(dead=True, time=now)
+            evicted = peer.link_cache.evict(entry.address)
+            self.collector.record_ping(
+                dead=True,
+                time=now,
+                spurious=outcome.spurious,
+                retries=retries,
+                wrongful=outcome.spurious and evicted,
+            )
             return
         if outcome.status is ProbeStatus.REFUSED:
             if not self.protocol.do_backoff:
                 peer.link_cache.evict(entry.address)
-            self.collector.record_ping(dead=False, time=now)
+            self.collector.record_ping(
+                dead=False, time=now, retries=retries, recovered=recovered
+            )
             return
         peer.link_cache.touch(entry.address, now)
         peer.import_pong_to_link_cache(outcome.response, now)
-        self.collector.record_ping(dead=False, time=now)
+        self.collector.record_ping(
+            dead=False, time=now, retries=retries, recovered=recovered
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -530,6 +581,12 @@ class GuessSimulation:
         self._reported = True
         for peer in self._peers.values():
             self._harvest(peer)
+        self.collector.record_transport(
+            probes_sent=self.transport.probes_sent,
+            timeouts=self.transport.timeouts,
+            refusals=self.transport.refusals,
+            spurious_timeouts=self.transport.spurious_timeouts,
+        )
         return self.collector.build_report()
 
     def snapshot_overlay(self) -> OverlaySnapshot:

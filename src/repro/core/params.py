@@ -149,6 +149,18 @@ class ProtocolParams:
             (the GUESS spec's serial-probe timeout, 0.2 s).
         parallel_probes: number of probes in flight at once (k-walkers);
             1 is the strictly serial protocol from the spec.
+        probe_retries: extra sends allowed after a probe times out
+            (0 = the paper's one-shot probes).  Retries apply to both
+            query probes and maintenance pings; over a lossy network
+            they distinguish "lost packet" from "dead peer" at the cost
+            of extra probes and waiting.
+        retry_backoff: ``"fixed"`` or ``"exponential"`` — how the gap
+            between retry attempts grows (see
+            :class:`~repro.faults.retry.RetryPolicy`).
+        retry_base: first backoff gap in seconds; ``None`` defaults to
+            ``probe_spacing`` so retried probes stay on the serial grid.
+        retry_multiplier: exponential backoff growth factor (ignored for
+            fixed backoff).
     """
 
     query_probe: str = "Random"
@@ -164,6 +176,10 @@ class ProtocolParams:
     intro_prob: float = 0.1
     probe_spacing: float = 0.2
     parallel_probes: int = 1
+    probe_retries: int = 0
+    retry_backoff: str = "fixed"
+    retry_base: float | None = None
+    retry_multiplier: float = 2.0
 
     def __post_init__(self) -> None:
         for role, name in (
@@ -200,6 +216,23 @@ class ProtocolParams:
         if self.parallel_probes < 1:
             raise ConfigError(
                 f"parallel_probes must be >= 1, got {self.parallel_probes}"
+            )
+        if self.probe_retries < 0:
+            raise ConfigError(
+                f"probe_retries must be >= 0, got {self.probe_retries}"
+            )
+        if self.retry_backoff not in ("fixed", "exponential"):
+            raise ConfigError(
+                "retry_backoff must be 'fixed' or 'exponential', "
+                f"got {self.retry_backoff!r}"
+            )
+        if self.retry_base is not None and self.retry_base < 0:
+            raise ConfigError(
+                f"retry_base must be >= 0 or None, got {self.retry_base}"
+            )
+        if self.retry_multiplier < 1.0:
+            raise ConfigError(
+                f"retry_multiplier must be >= 1, got {self.retry_multiplier}"
             )
 
     def uses_starred_policy(self) -> bool:

@@ -15,6 +15,14 @@ per-second capacity windows.
 Outcome accounting matches the paper's metrics: **good** probes reach a
 live peer, **dead** probes time out ("DeadIPs" / wasted probes), and
 **refused** probes hit an overloaded peer.
+
+Under fault injection (:mod:`repro.faults`) a timeout no longer implies
+a dead peer, so the loop optionally retries timed-out probes via
+:class:`~repro.faults.retry.RetryPolicy` (``ProtocolParams.probe_retries``
+et al.).  Retry waiting is charged honestly: every backoff gap shifts the
+remaining waves' virtual timestamps, extends the query's duration, and is
+folded into the satisfying reply's response time.  With retries disabled
+the loop is bit-identical to the pre-retry code.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.core.messages import QueryReply
 from repro.core.peer import GuessPeer
 from repro.core.policies import Policy
 from repro.core.query_cache import QueryCache
+from repro.faults.retry import RetryPolicy, probe_with_retry
 from repro.network.transport import ProbeStatus, Transport
 
 
@@ -87,11 +96,21 @@ class QueryResult:
         good_probes: probes answered by live peers.
         dead_probes: probes that timed out (the paper's "DeadIPs").
         refused_probes: probes refused by overloaded peers.
-        duration: seconds of virtual time the query occupied.
+        duration: seconds of virtual time the query occupied (includes
+            retry backoff waiting).
         response_time: seconds from issue to the satisfying reply
             (``None`` for unsatisfied queries).
         pool_exhausted: True if the query ended by running out of
             candidates rather than by satisfaction.
+        spurious_timeouts: dead-probe outcomes whose target was actually
+            live (fault-injected losses) — the subset of ``dead_probes``
+            that corrupts the paper's DeadIPs accounting.
+        retries: extra probe sends beyond the first attempt, summed over
+            the query's probes.
+        retry_recoveries: probes that timed out at least once but were
+            resolved (delivered or refused) by a retry.
+        wrongful_evictions: live link-cache entries evicted because a
+            lost probe masqueraded as a death.
     """
 
     satisfied: bool
@@ -103,6 +122,10 @@ class QueryResult:
     duration: float
     response_time: Optional[float]
     pool_exhausted: bool
+    spurious_timeouts: int = 0
+    retries: int = 0
+    retry_recoveries: int = 0
+    wrongful_evictions: int = 0
 
 
 def execute_query(
@@ -147,9 +170,19 @@ def execute_query(
     message = peer.query_message(target_file)
     results = 0
     good = dead = refused = 0
+    spurious = retries = recoveries = wrongful = 0
     probes = 0
     waves = 0
     response_time: Optional[float] = None
+    retry = (
+        RetryPolicy.from_protocol(protocol)
+        if protocol.probe_retries > 0
+        else None
+    )
+    # Cumulative timestamp slip from retry backoff: every second spent
+    # waiting on re-sends pushes the remaining waves later.  Stays 0.0
+    # without retries, leaving all timestamps bit-identical.
+    slip = 0.0
 
     # Probes go out in waves of ``walkers`` (k = 1 is the spec's strictly
     # serial mode).  Every probe of a wave is in flight together, so a
@@ -167,8 +200,10 @@ def execute_query(
             wave.append(entry)
         if not wave:
             break
-        wave_time = now + waves * spacing
+        wave_offset = waves * spacing + slip
+        wave_time = now + wave_offset
         waves += 1
+        wave_slip = 0.0
         defense = peer.defense
         for entry in wave:
             address = entry.address
@@ -176,13 +211,32 @@ def execute_query(
             if defense is not None and defense.blocked(address):
                 peer.link_cache.evict(address)
                 continue
-            outcome = transport.probe(peer.address, address, message, wave_time)
+            if retry is None:
+                outcome = transport.probe(
+                    peer.address, address, message, wave_time
+                )
+            else:
+                attempt = probe_with_retry(
+                    transport, retry, peer.address, address, message, wave_time
+                )
+                outcome = attempt.outcome
+                retries += attempt.retries
+                if attempt.recovered:
+                    recoveries += 1
+                # Walkers of one wave wait concurrently, so the wave
+                # slips by its slowest probe's backoff, not the sum.
+                if attempt.delay > wave_slip:
+                    wave_slip = attempt.delay
             probes += 1
 
             if outcome.status is ProbeStatus.TIMEOUT:
                 dead += 1
                 # Discovered-dead entries leave the link cache immediately.
-                peer.link_cache.evict(address)
+                evicted = peer.link_cache.evict(address)
+                if outcome.spurious:
+                    spurious += 1
+                    if evicted:
+                        wrongful += 1
                 if defense is not None:
                     defense.record_dead(address)
                 continue
@@ -210,7 +264,8 @@ def execute_query(
 
             results += reply.num_results
             if results >= desired_results and response_time is None:
-                response_time = (waves - 1) * spacing + outcome.rtt
+                # outcome.rtt already folds in any retry waiting.
+                response_time = wave_offset + outcome.rtt
 
             if defense is not None:
                 defense.record_answer(address, reply.num_results)
@@ -228,8 +283,10 @@ def execute_query(
                     pool.add(imported)
                     peer.offer_entry_to_link_cache(imported, wave_time)
 
+        slip += wave_slip
+
     satisfied = results >= desired_results
-    duration = waves * spacing
+    duration = waves * spacing + slip
     query_cache.clear()
     return QueryResult(
         satisfied=satisfied,
@@ -241,4 +298,8 @@ def execute_query(
         duration=duration,
         response_time=response_time if satisfied else None,
         pool_exhausted=not satisfied and pool.pop() is None,
+        spurious_timeouts=spurious,
+        retries=retries,
+        retry_recoveries=recoveries,
+        wrongful_evictions=wrongful,
     )

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 
 
@@ -51,6 +52,8 @@ class TrialSpec:
         seed: the trial's master seed, already derived by the caller.
         keep_queries: retain per-query records in the report.
         health_sample_interval: cache-health sampling period (None = off).
+        faults: optional fault plan (frozen, hence picklable); ``None``
+            or an all-zeros plan runs the fault-free code path.
         trace_hash: enable the engine's determinism sanitizer.
     """
 
@@ -61,6 +64,7 @@ class TrialSpec:
     seed: int
     keep_queries: bool = False
     health_sample_interval: Optional[float] = 60.0
+    faults: Optional[FaultPlan] = None
     trace_hash: bool = False
 
 
@@ -73,6 +77,7 @@ def execute_trial(spec: TrialSpec) -> SimulationReport:
         warmup=spec.warmup,
         keep_queries=spec.keep_queries,
         health_sample_interval=spec.health_sample_interval,
+        faults=spec.faults,
         trace_hash=spec.trace_hash,
     )
     sim.run(spec.warmup + spec.duration)

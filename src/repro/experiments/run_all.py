@@ -4,11 +4,14 @@ Usage::
 
     python -m repro.experiments.run_all --profile quick
     python -m repro.experiments.run_all --profile smoke --only fig8 fig13
+    python -m repro.experiments.run_all --suite packet_loss --workers 2
     repro-experiments --profile full --output results.txt
 
-``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``) or
-suite names (``cache_size``, ``ping_interval``, ``flexible_extent``,
-``policy_comparison``, ``fairness``, ``capacity``, ``malicious``).
+``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``,
+``loss_grid``, ``loss_satisfaction``) or suite names (``cache_size``,
+``ping_interval``, ``flexible_extent``, ``policy_comparison``,
+``fairness``, ``capacity``, ``malicious``, ``ablations``,
+``packet_loss``); ``--suite`` is an alias accepting the same tokens.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.experiments import (
     fairness,
     flexible_extent,
     malicious,
+    packet_loss,
     ping_interval,
     policy_comparison,
 )
@@ -41,6 +45,7 @@ SUITES: Dict[str, Callable] = {
     "capacity": capacity.run_suite,
     "malicious": malicious.run_suite,
     "ablations": ablations.run_suite,
+    "packet_loss": packet_loss.run_suite,
 }
 
 #: Experiment id -> the suite that produces it.
@@ -65,6 +70,8 @@ EXPERIMENT_SUITE: Dict[str, str] = {
     "fig19": "malicious",
     "fig20": "malicious",
     "fig21": "malicious",
+    "loss_grid": "packet_loss",
+    "loss_satisfaction": "packet_loss",
 }
 
 
@@ -109,6 +116,13 @@ def main(argv: List[str] | None = None) -> int:
         help="experiment ids or suite names to run (default: everything)",
     )
     parser.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="suite to run (repeatable; alias for --only NAME)",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="also write the rendered results to this file",
@@ -130,7 +144,8 @@ def main(argv: List[str] | None = None) -> int:
         parser.error(f"--workers must be >= 0, got {args.workers}")
 
     profile = get_profile(args.profile)
-    suites = resolve_suites(args.only)
+    tokens = (args.only or []) + (args.suite or [])
+    suites = resolve_suites(tokens or None)
 
     blocks: List[str] = [
         f"GUESS reproduction — profile={profile.name} "

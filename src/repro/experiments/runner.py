@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
 from repro.experiments.executor import TrialExecutor, TrialSpec, get_executor
+from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 from repro.metrics.summary import mean
 from repro.reporting.series import format_series_block
@@ -76,6 +77,7 @@ def run_guess_config(
     base_seed: int = 0,
     keep_queries: bool = False,
     health_sample_interval: Optional[float] = 60.0,
+    faults: Optional[FaultPlan] = None,
     mutate: Optional[Callable[[GuessSimulation], None]] = None,
     workers: int = 1,
     executor: Optional[TrialExecutor] = None,
@@ -90,6 +92,8 @@ def run_guess_config(
         base_seed: trial seeds derive from this (stable across sweeps).
         keep_queries: retain per-query records in the reports.
         health_sample_interval: cache-health sampling period (None = off).
+        faults: optional fault plan applied to every trial; ``None`` or
+            an all-zeros plan reproduces the fault-free runs exactly.
         mutate: optional hook called with each simulation before running
             (used by extension analyses to instrument internals).  A
             mutate hook pins execution to this process — it pokes at live
@@ -113,6 +117,7 @@ def run_guess_config(
             seed=derive_seed(base_seed, f"trial:{trial}"),
             keep_queries=keep_queries,
             health_sample_interval=health_sample_interval,
+            faults=faults,
         )
         for trial in range(trials)
     ]
@@ -126,6 +131,7 @@ def run_guess_config(
                 warmup=warmup,
                 keep_queries=keep_queries,
                 health_sample_interval=health_sample_interval,
+                faults=faults,
             )
             mutate(sim)
             sim.run(warmup + duration)

@@ -1,0 +1,41 @@
+"""Deterministic network fault injection.
+
+GUESS runs over UDP: a lost packet and a dead peer produce the same
+observable (a timeout), which is exactly the regime that stresses
+link-cache maintenance.  This package makes that regime simulable while
+preserving the repo's determinism contract:
+
+* :mod:`repro.faults.plan` — frozen, picklable fault descriptions
+  (:class:`FaultPlan`: independent + Gilbert-Elliott burst loss, latency
+  jitter, per-peer brownouts, timed partitions);
+* :mod:`repro.faults.injector` — the runtime :class:`FaultInjector`
+  consulted by the transport, with every fault source on its own named
+  RNG substream (``fault:*``);
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` and
+  :func:`probe_with_retry`, the backoff layer the probe paths use to buy
+  back spurious timeouts.
+
+An all-zeros :class:`FaultPlan` is contractually a no-op: no injector is
+built, no fault stream is ever drawn, and golden trace digests are
+bit-identical to a fault-free run.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BrownoutSpec,
+    FaultPlan,
+    GilbertElliott,
+    PartitionWindow,
+)
+from repro.faults.retry import RetriedProbe, RetryPolicy, probe_with_retry
+
+__all__ = [
+    "BrownoutSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
+    "PartitionWindow",
+    "RetriedProbe",
+    "RetryPolicy",
+    "probe_with_retry",
+]

@@ -59,6 +59,11 @@ class _QueryAggregate:
     good: int = 0
     dead: int = 0
     refused: int = 0
+    results: int = 0
+    spurious: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    wrongful: int = 0
     response_time_sum: float = 0.0
     response_time_count: int = 0
 
@@ -87,8 +92,19 @@ class MetricsCollector:
         self._health: List[CacheHealthSample] = []
         self.pings_sent = 0
         self.dead_pings = 0
+        self.spurious_dead_pings = 0
+        self.ping_retries = 0
+        self.ping_retry_recoveries = 0
+        self.wrongful_ping_evictions = 0
         self.births = 0
         self.deaths = 0
+        # Transport-lifetime counters, recorded once at report time (not
+        # warmup-filtered: they describe the wire, not the measurement
+        # window).
+        self.transport_probes_sent = 0
+        self.transport_timeouts = 0
+        self.transport_refusals = 0
+        self.transport_spurious_timeouts = 0
 
     # ------------------------------------------------------------------
     # Feeding
@@ -105,19 +121,50 @@ class MetricsCollector:
         agg.good += result.good_probes
         agg.dead += result.dead_probes
         agg.refused += result.refused_probes
+        agg.results += result.results
+        agg.spurious += result.spurious_timeouts
+        agg.retries += result.retries
+        agg.recoveries += result.retry_recoveries
+        agg.wrongful += result.wrongful_evictions
         if result.response_time is not None:
             agg.response_time_sum += result.response_time
             agg.response_time_count += 1
         if self.keep_queries:
             self._queries.append(result)
 
-    def record_ping(self, dead: bool, time: float) -> None:
-        """Record one maintenance ping and whether it found a corpse."""
+    def record_ping(
+        self,
+        dead: bool,
+        time: float,
+        *,
+        spurious: bool = False,
+        retries: int = 0,
+        recovered: bool = False,
+        wrongful: bool = False,
+    ) -> None:
+        """Record one maintenance ping and whether it found a corpse.
+
+        Args:
+            dead: the ping's final outcome was a timeout.
+            time: ping timestamp (warmup-filtered).
+            spurious: the timeout hit a live target (injected loss).
+            retries: extra sends the retry policy made for this ping.
+            recovered: a retry resolved what first looked like a death.
+            wrongful: a live link-cache entry was evicted off the back
+                of a spurious timeout.
+        """
         if time < self.warmup:
             return
         self.pings_sent += 1
+        self.ping_retries += retries
+        if recovered:
+            self.ping_retry_recoveries += 1
         if dead:
             self.dead_pings += 1
+            if spurious:
+                self.spurious_dead_pings += 1
+            if wrongful:
+                self.wrongful_ping_evictions += 1
 
     def record_death(self, time: float) -> None:
         """Count a peer departure (post-warmup)."""
@@ -148,6 +195,25 @@ class MetricsCollector:
         if sample.time >= self.warmup:
             self._health.append(sample)
 
+    def record_transport(
+        self,
+        *,
+        probes_sent: int,
+        timeouts: int,
+        refusals: int,
+        spurious_timeouts: int = 0,
+    ) -> None:
+        """Absorb the transport's lifetime counters (once, at report time).
+
+        These cover *every* probe the wire carried — queries, pings, and
+        retries, warmup included — so they are the ground truth the
+        per-channel (query/ping) accounting can be reconciled against.
+        """
+        self.transport_probes_sent = probes_sent
+        self.transport_timeouts = timeouts
+        self.transport_refusals = refusals
+        self.transport_spurious_timeouts = spurious_timeouts
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -175,6 +241,19 @@ class MetricsCollector:
             refusals=dict(self._refusals),
             health_samples=tuple(self._health),
             query_results=tuple(self._queries) if self.keep_queries else (),
+            total_results=agg.results,
+            spurious_timeout_probes=agg.spurious,
+            probe_retries=agg.retries,
+            retry_recovered_probes=agg.recoveries,
+            wrongful_query_evictions=agg.wrongful,
+            spurious_dead_pings=self.spurious_dead_pings,
+            ping_retries=self.ping_retries,
+            ping_retry_recoveries=self.ping_retry_recoveries,
+            wrongful_ping_evictions=self.wrongful_ping_evictions,
+            transport_probes_sent=self.transport_probes_sent,
+            transport_timeouts=self.transport_timeouts,
+            transport_refusals=self.transport_refusals,
+            transport_spurious_timeouts=self.transport_spurious_timeouts,
         )
 
 
@@ -197,6 +276,30 @@ class SimulationReport:
     refusals: Dict[Address, int] = field(default_factory=dict)
     health_samples: tuple = ()
     query_results: tuple = ()
+    #: Results actually returned across all queries (results-per-query).
+    total_results: int = 0
+    #: Query dead-probes whose target was live (fault-injected losses).
+    spurious_timeout_probes: int = 0
+    #: Extra query-probe sends made by the retry policy.
+    probe_retries: int = 0
+    #: Query probes that a retry resolved after an initial timeout.
+    retry_recovered_probes: int = 0
+    #: Live link-cache entries evicted by lossy query probes.
+    wrongful_query_evictions: int = 0
+    #: Dead pings whose target was live (fault-injected losses).
+    spurious_dead_pings: int = 0
+    #: Extra ping sends made by the retry policy.
+    ping_retries: int = 0
+    #: Pings that a retry resolved after an initial timeout.
+    ping_retry_recoveries: int = 0
+    #: Live link-cache entries evicted by lossy pings.
+    wrongful_ping_evictions: int = 0
+    #: Transport-lifetime totals (queries + pings + retries, warmup
+    #: included) — the wire's ground truth.
+    transport_probes_sent: int = 0
+    transport_timeouts: int = 0
+    transport_refusals: int = 0
+    transport_spurious_timeouts: int = 0
 
     # -- Paper metrics --------------------------------------------------
 
@@ -241,6 +344,51 @@ class SimulationReport:
     def dead_ping_fraction(self) -> float:
         """Fraction of maintenance pings that discovered a corpse."""
         return ratio(self.dead_pings, self.pings_sent)
+
+    # -- Fault / retry metrics (repro.faults) ----------------------------
+
+    @property
+    def results_per_query(self) -> float:
+        """Average results returned per query."""
+        return ratio(self.total_results, self.queries)
+
+    @property
+    def spurious_timeouts_per_query(self) -> float:
+        """Average live-target timeouts per query (loss masquerading as
+        death; 0 without fault injection)."""
+        return ratio(self.spurious_timeout_probes, self.queries)
+
+    @property
+    def spurious_timeout_fraction(self) -> float:
+        """Fraction of query dead-probes that were actually lost packets.
+
+        This is how badly loss corrupts the paper's DeadIPs accounting:
+        at 1.0, every "dead" probe the query loop charged was wrong.
+        """
+        return ratio(self.spurious_timeout_probes, self.dead_probes)
+
+    @property
+    def retry_recovery_rate(self) -> float:
+        """Fraction of first-attempt query timeouts a retry bought back.
+
+        Denominator: probes whose first attempt timed out = recoveries
+        (eventually resolved) + final dead probes that burned at least
+        one retry.  0.0 when retries are disabled.
+        """
+        attempted = self.retry_recovered_probes + (
+            self.dead_probes if self.probe_retries > 0 else 0
+        )
+        return ratio(self.retry_recovered_probes, attempted)
+
+    @property
+    def wrongful_evictions(self) -> int:
+        """Live link-cache entries evicted as "dead" (query + ping paths)."""
+        return self.wrongful_query_evictions + self.wrongful_ping_evictions
+
+    @property
+    def spurious_dead_ping_fraction(self) -> float:
+        """Fraction of dead pings whose target was actually live."""
+        return ratio(self.spurious_dead_pings, self.dead_pings)
 
     # -- Cache health (Table 3, Figures 18/21) ---------------------------
 

@@ -16,15 +16,27 @@ The transport is synchronous: the GUESS query loop is strictly serial (one
 probe, then reply-or-timeout, then the next probe), so a function call that
 returns the outcome models the protocol faithfully while keeping the event
 count per query at one.
+
+An optional :class:`~repro.faults.injector.FaultInjector` makes the wire
+itself unreliable: probes to *live* endpoints may be dropped (packet
+loss, brownouts, partitions) and delivered round trips may pick up
+latency jitter.  A fault-dropped probe to a live endpoint is a **spurious
+timeout** — indistinguishable from a death to the prober, but flagged on
+the outcome so omniscient metrics can separate wrongful evictions from
+real corpse collection.  Without an injector the probe path is exactly
+the historical fault-free code, bit for bit.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol
 
 from repro.network.address import Address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class ProbeStatus(enum.Enum):
@@ -44,17 +56,34 @@ class ProbeStatus(enum.Enum):
 class ProbeOutcome:
     """Result of one probe.
 
+    RTT charging rules (both deliberate, and asserted by the transport
+    tests):
+
+    * **Timeouts are charged the full timeout period** — the sender
+      learns nothing until it has waited the whole window, so that wait
+      is the probe's true cost.
+    * **Refusals are charged the full delivery latency**, exactly like a
+      delivered probe: a refusal is a real reply from a live peer (the
+      overload notice travels the same round trip as a pong would), so
+      the sender pays the wire time even though it gets no entries back.
+
     Attributes:
         status: terminal status.
         response: payload returned by the endpoint (``None`` unless
-            :attr:`ProbeStatus.DELIVERED`).
-        rtt: modelled round-trip time in seconds.  Timeouts are charged the
-            full timeout period.
+            :attr:`ProbeStatus.DELIVERED` or a refusal notice).
+        rtt: modelled round-trip time in seconds, per the rules above.
+        spurious: True only for a :attr:`ProbeStatus.TIMEOUT` caused by
+            fault injection against a **live** endpoint — a lost packet,
+            brownout stall, or partition cut, not a death.  The protocol
+            layers never branch on this (the prober cannot tell); it
+            exists purely for omniscient metrics (wrongful-eviction and
+            spurious-timeout accounting).
     """
 
     status: ProbeStatus
     response: Any = None
     rtt: float = 0.0
+    spurious: bool = False
 
     @property
     def delivered(self) -> bool:
@@ -96,20 +125,29 @@ class Transport:
             default.
         latency: round-trip pricing for delivered probes; defaults to a
             4× faster-than-timeout constant.
+        faults: optional fault injector; when set, probes to live
+            endpoints may be dropped (spurious timeouts) and delivered
+            RTTs may pick up jitter.  ``None`` (the default, and what an
+            all-zeros :class:`~repro.faults.plan.FaultPlan` resolves to)
+            keeps the exact fault-free code path.
     """
 
     def __init__(
         self,
         timeout: float = 0.2,
         latency: Optional[LatencyModel] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.timeout = float(timeout)
         self._latency = latency or constant_latency(timeout / 4.0)
+        self._faults = faults
         self._directory: Dict[Address, Endpoint] = {}
         self._probes_sent = 0
         self._timeouts = 0
+        self._refusals = 0
+        self._spurious_timeouts = 0
 
     # ------------------------------------------------------------------
     # Directory management
@@ -151,16 +189,30 @@ class Transport:
         """Send ``message`` from ``src`` to ``dst`` at virtual time ``time``.
 
         Returns:
-            A :class:`ProbeOutcome`; timeouts carry ``rtt == timeout``.
+            A :class:`ProbeOutcome`; timeouts carry ``rtt == timeout``,
+            refusals and deliveries the modelled delivery latency.
         """
         self._probes_sent += 1
+        faults = self._faults
         endpoint = self._directory.get(dst)
         if endpoint is None or not endpoint.is_alive(time):
+            # Dead targets never consume fault randomness: the outcome is
+            # a timeout either way, and skipping the draw keeps fault
+            # streams a pure function of the live-probe sequence.
             self._timeouts += 1
             return ProbeOutcome(status=ProbeStatus.TIMEOUT, rtt=self.timeout)
+        if faults is not None and faults.should_drop(src, dst, time):
+            self._timeouts += 1
+            self._spurious_timeouts += 1
+            return ProbeOutcome(
+                status=ProbeStatus.TIMEOUT, rtt=self.timeout, spurious=True
+            )
         accepted, response = endpoint.receive_probe(message, time)
         rtt = self._latency(src, dst)
+        if faults is not None:
+            rtt += faults.extra_rtt()
         if not accepted:
+            self._refusals += 1
             return ProbeOutcome(status=ProbeStatus.REFUSED, response=response, rtt=rtt)
         return ProbeOutcome(status=ProbeStatus.DELIVERED, response=response, rtt=rtt)
 
@@ -175,11 +227,22 @@ class Transport:
 
     @property
     def timeouts(self) -> int:
-        """Total probes that found no live endpoint."""
+        """Total probes that timed out (dead target or injected drop)."""
         return self._timeouts
+
+    @property
+    def refusals(self) -> int:
+        """Total probes a live endpoint refused (overload)."""
+        return self._refusals
+
+    @property
+    def spurious_timeouts(self) -> int:
+        """Timeouts whose target was live (fault-injected drops only)."""
+        return self._spurious_timeouts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Transport(endpoints={len(self._directory)}, "
-            f"probes={self._probes_sent}, timeouts={self._timeouts})"
+            f"probes={self._probes_sent}, timeouts={self._timeouts}, "
+            f"refusals={self._refusals})"
         )

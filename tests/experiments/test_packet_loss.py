@@ -1,0 +1,164 @@
+"""Tests for the packet-loss robustness suite.
+
+Covers the suite's three contracts: the grid is complete and reports
+spurious timeouts separately from true dead probes; the fault-free cell
+reproduces the policy-comparison Random baseline (same seed, same
+numbers); and a parallel run is byte-identical to a serial one even
+with faults injected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.experiments import packet_loss, policy_comparison
+from repro.experiments.profiles import Profile
+from repro.experiments.runner import ExperimentResult
+
+MICRO = Profile(
+    name="micro",
+    duration=120.0,
+    warmup=30.0,
+    trials=1,
+    network_sizes=(60,),
+    reference_size=60,
+    cache_sizes=(5, 20),
+    ping_intervals=(15.0, 120.0),
+    baseline_queries=60,
+    max_extent=60,
+)
+
+
+def grid_cells(grid: ExperimentResult) -> dict:
+    return {(row[0], row[1]): row for row in grid.rows}
+
+
+class TestSuiteShape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return packet_loss.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == [
+            "loss_grid", "loss_satisfaction",
+        ]
+
+    def test_grid_complete(self, results):
+        cells = grid_cells(results[0])
+        assert set(cells) == {
+            (loss, retries)
+            for loss in packet_loss.LOSS_RATES
+            for retries in packet_loss.RETRY_BUDGETS
+        }
+
+    def test_columns_separate_spurious_from_dead(self, results):
+        columns = results[0].columns
+        assert "DeadIPs/Query" in columns
+        assert "Spurious/Query" in columns
+
+    def test_satisfaction_series_per_budget(self, results):
+        series = results[1].series
+        assert set(series) == {
+            f"retries={r}" for r in packet_loss.RETRY_BUDGETS
+        }
+        for points in series.values():
+            assert [x for x, _ in points] == list(packet_loss.LOSS_RATES)
+
+    def test_fault_free_cells_have_no_fault_artifacts(self, results):
+        cells = grid_cells(results[0])
+        for retries in packet_loss.RETRY_BUDGETS:
+            row = cells[(0.0, retries)]
+            _, _, satisfied, _, _, _, spurious, _, _, wrongful = row
+            assert spurious == 0.0
+            assert wrongful == 0.0
+            assert 0.0 <= satisfied <= 1.0
+
+    def test_loss_inflates_spurious_timeouts(self, results):
+        cells = grid_cells(results[0])
+        lossy = cells[(0.20, 0)]
+        spurious, dead = lossy[6], lossy[5]
+        assert spurious > 0.0
+        # Spurious timeouts are a subset of the DeadIPs the prober sees.
+        assert spurious <= dead
+        assert lossy[9] > 0.0  # wrongful evictions of live entries
+
+    def test_retries_recover_spurious_timeouts(self, results):
+        cells = grid_cells(results[0])
+        without = cells[(0.20, 0)]
+        with_retry = cells[(0.20, 2)]
+        assert with_retry[5] < without[5]  # fewer apparent dead probes
+        assert 0.0 < with_retry[7] <= 1.0  # recovery rate measured
+        assert without[7] == 0.0  # no retries, nothing recovered
+        assert with_retry[2] >= without[2]  # satisfaction not worse
+
+
+class TestBaselineAnchor:
+    def test_fault_free_cell_reproduces_fig9_random_numbers(self):
+        """loss=0, retries=0 shares seed 0x909 and the default protocol
+        with the fig9 Random cell — the numbers must match exactly."""
+        cell = packet_loss._measure_cell(MICRO, 0.0, 0)
+        baseline = policy_comparison._measure(
+            MICRO, ProtocolParams(), packet_loss.BASE_SEED
+        )
+        assert cell["probes"] == baseline["total"]
+        assert cell["dead"] == baseline["dead"]
+        assert cell["satisfied"] == pytest.approx(1.0 - baseline["unsat"])
+
+
+class TestParallelEquality:
+    def test_workers_2_report_is_byte_identical_to_serial(self):
+        serial = packet_loss.run_suite(MICRO, workers=1)
+        parallel = packet_loss.run_suite(MICRO, workers=2)
+        assert [r.render() for r in serial] == [
+            r.render() for r in parallel
+        ]
+
+
+class TestCli:
+    def canned(self, tag):
+        return [
+            ExperimentResult(
+                experiment_id="loss_grid",
+                title=f"canned {tag}",
+                columns=("A",),
+                rows=((1.0,),),
+            )
+        ]
+
+    def test_verify_parallel_passes_on_identical_reports(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            packet_loss, "run_suite", lambda profile, workers=1: self.canned("x")
+        )
+        assert packet_loss.main(
+            ["--profile", "smoke", "--workers", "2", "--verify-parallel"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_verify_parallel_fails_on_divergent_reports(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            packet_loss,
+            "run_suite",
+            lambda profile, workers=1: self.canned(f"workers={workers}"),
+        )
+        assert packet_loss.main(
+            ["--profile", "smoke", "--workers", "2", "--verify-parallel"]
+        ) == 1
+        assert "differ" in capsys.readouterr().err
+
+    def test_verify_parallel_requires_workers(self):
+        with pytest.raises(SystemExit):
+            packet_loss.main(["--verify-parallel"])
+
+    def test_output_file_written(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            packet_loss, "run_suite", lambda profile, workers=1: self.canned("x")
+        )
+        target = tmp_path / "loss.txt"
+        assert packet_loss.main(["--output", str(target)]) == 0
+        assert "canned x" in target.read_text()

@@ -38,8 +38,13 @@ class TestResolveSuites:
 
 class TestCoverage:
     def test_every_paper_artifact_mapped(self):
-        expected = {"table3"} | {f"fig{i}" for i in range(3, 22)}
-        assert set(EXPERIMENT_SUITE) == expected
+        paper = {"table3"} | {f"fig{i}" for i in range(3, 22)}
+        beyond_paper = {"loss_grid", "loss_satisfaction"}
+        assert set(EXPERIMENT_SUITE) == paper | beyond_paper
 
     def test_all_mapped_suites_exist(self):
         assert set(EXPERIMENT_SUITE.values()) <= set(SUITES)
+
+    def test_packet_loss_ids_map_to_packet_loss(self):
+        assert resolve_suites(["loss_grid"]) == ["packet_loss"]
+        assert resolve_suites(["loss_satisfaction"]) == ["packet_loss"]

@@ -21,6 +21,16 @@ class TestMain:
         # Also printed to stdout.
         assert "fig8" in capsys.readouterr().out
 
+    def test_suite_flag_is_an_only_alias(self, capsys):
+        code = main([
+            "--profile", "smoke",
+            "--suite", "flexible_extent",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- suite flexible_extent" in out
+        assert "-- suite cache_size" not in out
+
     def test_unknown_experiment_exits(self):
         try:
             main(["--profile", "smoke", "--only", "fig99"])

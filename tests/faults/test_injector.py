@@ -1,0 +1,196 @@
+"""Tests for the runtime fault injector."""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BrownoutSpec,
+    FaultPlan,
+    GilbertElliott,
+    PartitionWindow,
+)
+from repro.sim.rng import RngRegistry
+
+
+def make(plan: FaultPlan, seed: int = 42) -> FaultInjector:
+    injector = FaultInjector.from_plan(plan, RngRegistry(seed))
+    assert injector is not None
+    return injector
+
+
+class TestFromPlan:
+    def test_none_plan_gives_none(self):
+        assert FaultInjector.from_plan(None, RngRegistry(1)) is None
+
+    def test_noop_plan_gives_none(self):
+        assert FaultInjector.from_plan(FaultPlan(), RngRegistry(1)) is None
+
+    def test_active_plan_gives_injector(self):
+        injector = FaultInjector.from_plan(
+            FaultPlan(loss_rate=0.5), RngRegistry(1)
+        )
+        assert isinstance(injector, FaultInjector)
+
+
+class TestIndependentLoss:
+    def test_certain_loss_drops_everything(self):
+        injector = make(FaultPlan(loss_rate=1.0))
+        assert all(injector.should_drop(1, 2, t) for t in range(20))
+        assert injector.drops_loss == 20
+
+    def test_same_seed_replays_decisions(self):
+        plan = FaultPlan(loss_rate=0.3)
+        a, b = make(plan, seed=7), make(plan, seed=7)
+        decisions_a = [a.should_drop(1, 2, float(t)) for t in range(200)]
+        decisions_b = [b.should_drop(1, 2, float(t)) for t in range(200)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_diverge(self):
+        plan = FaultPlan(loss_rate=0.5)
+        a, b = make(plan, seed=7), make(plan, seed=8)
+        assert [a.should_drop(1, 2, 0.0) for _ in range(64)] != [
+            b.should_drop(1, 2, 0.0) for _ in range(64)
+        ]
+
+
+class TestBurstLoss:
+    def test_absorbing_bad_state_loses_everything(self):
+        # good->bad is certain and bad is absorbing with certain loss, so
+        # every probe (the chain steps before the loss draw) is dropped.
+        plan = FaultPlan(
+            burst=GilbertElliott(
+                loss_bad=1.0, p_good_to_bad=1.0, p_bad_to_good=0.0
+            )
+        )
+        injector = make(plan)
+        assert all(injector.should_drop(1, 2, float(t)) for t in range(10))
+        assert injector.drops_burst == 10
+
+    def test_good_state_loss_applies(self):
+        plan = FaultPlan(
+            burst=GilbertElliott(loss_good=1.0, p_good_to_bad=0.0)
+        )
+        injector = make(plan)
+        assert all(injector.should_drop(1, 2, float(t)) for t in range(5))
+
+    def test_losses_cluster_more_than_independent(self):
+        """Same long-run loss rate, but bad-state losses arrive in runs."""
+        plan = FaultPlan(
+            burst=GilbertElliott(
+                loss_good=0.0,
+                loss_bad=1.0,
+                p_good_to_bad=0.05,
+                p_bad_to_good=0.5,
+            )
+        )
+        injector = make(plan, seed=3)
+        drops = [injector.should_drop(1, 2, float(t)) for t in range(4000)]
+        losses = sum(drops)
+        runs = sum(
+            1
+            for i, dropped in enumerate(drops)
+            if dropped and (i == 0 or not drops[i - 1])
+        )
+        assert losses > 0
+        # Mean loss-run length > 1 probe: the signature of burstiness an
+        # independent Bernoulli channel (run length ~1/(1-p)≈1) lacks.
+        assert losses / runs > 1.5
+
+
+class TestBrownouts:
+    PLAN = FaultPlan(brownouts=BrownoutSpec(rate=0.05, duration=10.0))
+
+    def test_stall_verdicts_are_order_independent(self):
+        """Two probers racing to the same peer must agree on its state."""
+        times = [37.0, 1.0, 402.5, 88.25, 12.0, 955.0, 402.5, 3.125]
+        forward = make(self.PLAN, seed=11)
+        shuffled = make(self.PLAN, seed=11)
+        expected = {t: forward.should_drop(1, 9, t) for t in sorted(set(times))}
+        for t in times:
+            assert shuffled.should_drop(1, 9, t) == expected[t]
+
+    def test_schedules_differ_per_address(self):
+        injector = make(self.PLAN, seed=11)
+        verdicts = {
+            dst: [injector.should_drop(1, dst, float(t)) for t in range(500)]
+            for dst in (2, 3, 4, 5)
+        }
+        assert any(any(v) for v in verdicts.values())
+        assert len({tuple(v) for v in verdicts.values()}) > 1
+
+    def test_drops_attributed_to_brownout(self):
+        injector = make(
+            FaultPlan(brownouts=BrownoutSpec(rate=10.0, duration=100.0))
+        )
+        assert injector.should_drop(1, 2, 50.0)
+        assert injector.drops_brownout == 1
+
+
+class TestPartitions:
+    WINDOW = PartitionWindow(start=100.0, end=200.0, fraction=0.5, salt=9)
+
+    def test_cut_only_inside_window(self):
+        plan = FaultPlan(partitions=(self.WINDOW,))
+        injector = make(plan)
+        # Find a pair on opposite sides.
+        pair = next(
+            (a, b)
+            for a in range(10)
+            for b in range(10, 20)
+            if injector._side(0, a) != injector._side(0, b)
+        )
+        assert not injector.should_drop(*pair, 99.9)
+        assert injector.should_drop(*pair, 100.0)
+        assert injector.should_drop(*pair, 199.9)
+        assert not injector.should_drop(*pair, 200.0)
+        assert injector.drops_partition == 2
+
+    def test_cut_is_symmetric(self):
+        injector = make(FaultPlan(partitions=(self.WINDOW,)))
+        for a in range(8):
+            for b in range(8):
+                assert injector.should_drop(
+                    a, b, 150.0
+                ) == injector.should_drop(b, a, 150.0)
+
+    def test_same_side_pairs_unaffected(self):
+        injector = make(FaultPlan(partitions=(self.WINDOW,)))
+        same = [
+            (a, b)
+            for a in range(20)
+            for b in range(20)
+            if injector._side(0, a) == injector._side(0, b)
+        ]
+        assert same
+        assert not any(injector.should_drop(a, b, 150.0) for a, b in same)
+
+    def test_sides_are_pure_across_injectors(self):
+        plan = FaultPlan(partitions=(self.WINDOW,))
+        a, b = make(plan, seed=1), make(plan, seed=999)
+        # Sides hash (salt, address) only — even the fault seed is
+        # irrelevant, so repeated runs agree on the cut.
+        assert [a._side(0, addr) for addr in range(64)] == [
+            b._side(0, addr) for addr in range(64)
+        ]
+
+    def test_fraction_zero_never_cuts(self):
+        window = PartitionWindow(start=0.0, end=1e9, fraction=0.0)
+        injector = make(FaultPlan(partitions=(window,)))
+        assert not any(
+            injector.should_drop(a, b, 5.0)
+            for a in range(10)
+            for b in range(10)
+        )
+
+
+class TestJitter:
+    def test_no_jitter_without_plan(self):
+        injector = make(FaultPlan(loss_rate=0.5))
+        assert injector.extra_rtt() == 0.0
+
+    def test_jitter_bounded(self):
+        injector = make(FaultPlan(jitter=0.25))
+        draws = [injector.extra_rtt() for _ in range(200)]
+        assert all(0.0 <= d < 0.25 for d in draws)
+        assert len(set(draws)) > 1

@@ -13,12 +13,14 @@ import pytest
 
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.faults.plan import BrownoutSpec, FaultPlan, PartitionWindow
 
 DURATION = 400.0
 
 
 def run_once(seed: int, *, percent_bad: float = 0.0,
-             behavior: BadPongBehavior = BadPongBehavior.DEAD):
+             behavior: BadPongBehavior = BadPongBehavior.DEAD,
+             faults: FaultPlan | None = None, probe_retries: int = 0):
     """One small, full-featured run; returns (digest, report)."""
     sim = GuessSimulation(
         SystemParams(
@@ -26,8 +28,9 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
             percent_bad_peers=percent_bad,
             bad_pong_behavior=behavior,
         ),
-        ProtocolParams(cache_size=30),
+        ProtocolParams(cache_size=30, probe_retries=probe_retries),
         seed=seed,
+        faults=faults,
         trace_hash=True,
     )
     sim.run(DURATION)
@@ -100,3 +103,62 @@ class TestGoldenDigests:
             11, percent_bad=10.0, behavior=BadPongBehavior.BAD
         )
         assert digest == "23d74325e25c2c9e44279d38a317edbe"
+
+
+class TestFaultDeterminism:
+    """The fault subsystem's side of the determinism contract.
+
+    An all-zeros :class:`FaultPlan` must be *contractually invisible* —
+    not merely equivalent output, but the identical event stream, pinned
+    against the golden digests above.  Non-trivial plans must be fully
+    deterministic (same seed + same plan ⇒ same digest) while actually
+    changing the run.
+    """
+
+    FAULTY = FaultPlan(
+        loss_rate=0.05,
+        jitter=0.02,
+        brownouts=BrownoutSpec(rate=0.001, duration=30.0),
+        partitions=(PartitionWindow(start=150.0, end=250.0, salt=7),),
+    )
+
+    def test_all_zero_plan_reproduces_pinned_golden_digest(self):
+        digest, _ = run_once(7, faults=FaultPlan())
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_all_zero_plan_invisible_under_attack_roster(self):
+        digest, _ = run_once(
+            11, percent_bad=10.0, behavior=BadPongBehavior.BAD,
+            faults=FaultPlan(),
+        )
+        assert digest == "23d74325e25c2c9e44279d38a317edbe"
+
+    def test_faulty_run_is_deterministic(self):
+        digest_a, report_a = run_once(7, faults=self.FAULTY)
+        digest_b, report_b = run_once(7, faults=self.FAULTY)
+        assert digest_a == digest_b
+        assert report_a.probes_per_query == report_b.probes_per_query
+        assert (
+            report_a.spurious_timeout_probes
+            == report_b.spurious_timeout_probes
+        )
+
+    def test_faults_actually_change_the_run(self):
+        # The executed *event schedule* (queries, pings, churn) comes from
+        # streams faults cannot touch, so the digest may legitimately
+        # match the clean run; the measured behaviour must not.
+        _, clean = run_once(7)
+        _, faulty = run_once(7, faults=self.FAULTY)
+        assert faulty.spurious_timeout_probes + faulty.spurious_dead_pings > 0
+        assert faulty.wrongful_evictions > 0
+        assert clean.spurious_timeout_probes == 0
+        assert faulty.probes_per_query != clean.probes_per_query
+
+    def test_retry_enabled_run_is_deterministic(self):
+        plan = FaultPlan(loss_rate=0.1)
+        digest_a, report_a = run_once(7, faults=plan, probe_retries=2)
+        digest_b, report_b = run_once(7, faults=plan, probe_retries=2)
+        assert digest_a == digest_b
+        assert report_a.retry_recovery_rate == report_b.retry_recovery_rate
+        assert report_a.probe_retries + report_a.ping_retries > 0
+        assert report_a.retry_recovered_probes + report_a.ping_retry_recoveries > 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.search import QueryResult
@@ -90,6 +92,82 @@ class TestPingAccounting:
         collector = MetricsCollector(warmup=10.0)
         collector.record_ping(dead=True, time=5.0)
         assert collector.build_report().pings_sent == 0
+
+
+class TestFaultAndRetryAccounting:
+    def lossy_query(self, spurious=2, retries=3, recoveries=1, wrongful=1):
+        return replace(
+            query_result(probes=10, good=6, dead=4),
+            spurious_timeouts=spurious,
+            retries=retries,
+            retry_recoveries=recoveries,
+            wrongful_evictions=wrongful,
+        )
+
+    def test_query_fault_sums(self):
+        collector = MetricsCollector()
+        collector.record_query(self.lossy_query(), 1.0)
+        collector.record_query(self.lossy_query(spurious=0, wrongful=0), 2.0)
+        report = collector.build_report()
+        assert report.spurious_timeout_probes == 2
+        assert report.probe_retries == 6
+        assert report.retry_recovered_probes == 2
+        assert report.wrongful_query_evictions == 1
+        assert report.spurious_timeouts_per_query == pytest.approx(1.0)
+        assert report.spurious_timeout_fraction == pytest.approx(2 / 8)
+
+    def test_recovery_rate_counts_first_attempt_timeouts(self):
+        collector = MetricsCollector()
+        collector.record_query(self.lossy_query(recoveries=2), 1.0)
+        report = collector.build_report()
+        # 2 recovered + 4 final dead probes = 6 first-attempt timeouts.
+        assert report.retry_recovery_rate == pytest.approx(2 / 6)
+
+    def test_recovery_rate_zero_without_retries(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(probes=10, good=6, dead=4), 1.0)
+        assert collector.build_report().retry_recovery_rate == 0.0
+
+    def test_ping_fault_accounting(self):
+        collector = MetricsCollector()
+        collector.record_ping(
+            dead=True, time=1.0, spurious=True, retries=2, wrongful=True
+        )
+        collector.record_ping(dead=True, time=1.0)
+        collector.record_ping(
+            dead=False, time=1.0, retries=1, recovered=True
+        )
+        report = collector.build_report()
+        assert report.spurious_dead_pings == 1
+        assert report.ping_retries == 3
+        assert report.ping_retry_recoveries == 1
+        assert report.wrongful_ping_evictions == 1
+        assert report.spurious_dead_ping_fraction == pytest.approx(0.5)
+
+    def test_wrongful_evictions_spans_both_paths(self):
+        collector = MetricsCollector()
+        collector.record_query(self.lossy_query(wrongful=2), 1.0)
+        collector.record_ping(
+            dead=True, time=1.0, spurious=True, wrongful=True
+        )
+        assert collector.build_report().wrongful_evictions == 3
+
+    def test_transport_totals_passed_through(self):
+        collector = MetricsCollector()
+        collector.record_transport(
+            probes_sent=100, timeouts=20, refusals=5, spurious_timeouts=8
+        )
+        report = collector.build_report()
+        assert report.transport_probes_sent == 100
+        assert report.transport_timeouts == 20
+        assert report.transport_refusals == 5
+        assert report.transport_spurious_timeouts == 8
+
+    def test_results_per_query(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(), 1.0)
+        collector.record_query(query_result(satisfied=False), 1.0)
+        assert collector.build_report().results_per_query == pytest.approx(0.5)
 
 
 class TestLoadsAndHealth:
