@@ -49,6 +49,7 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan, RetryPolicy
 from repro.metrics import LoadDistribution, MetricsCollector, SimulationReport
+from repro.observe import MetricsRegistry, ObservationPlan, SpanRecorder
 
 __version__ = "1.0.0"
 
@@ -68,6 +69,9 @@ __all__ = [
     "registered_policy_names",
     "FaultPlan",
     "RetryPolicy",
+    "MetricsRegistry",
+    "ObservationPlan",
+    "SpanRecorder",
     "ConfigError",
     "PolicyError",
     "ReproError",

@@ -48,6 +48,7 @@ from repro.metrics.collectors import (
 from repro.network.address import Address, AddressAllocator
 from repro.network.overlay import OverlaySnapshot
 from repro.network.transport import ProbeStatus, Transport
+from repro.observe.plan import Observation, ObservationPlan
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.rng import RngRegistry
@@ -97,6 +98,13 @@ class GuessSimulation:
             fired event is folded into a digest exposed as
             :attr:`trace_digest`, so two same-``(seed, params)`` runs can
             be asserted bit-for-bit identical.
+        observe: optional :class:`~repro.observe.plan.ObservationPlan`
+            attaching query-span recording and/or a shared metrics
+            registry.  ``None`` or a no-op plan builds no observers and
+            keeps the exact pre-observability code path; an enabled plan
+            must *still* leave the trace digest bit-identical —
+            observation never perturbs the simulation (the invisibility
+            contract, asserted by the determinism suite).
 
     Example::
 
@@ -121,16 +129,27 @@ class GuessSimulation:
         latency=None,
         faults: Optional[FaultPlan] = None,
         trace_hash: bool = False,
+        observe: Optional[ObservationPlan] = None,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
         self.engine = Simulator(trace_hash=trace_hash)
         self.rng = RngRegistry(seed)
         self.faults = FaultInjector.from_plan(faults, self.rng)
+        # None for a missing/no-op plan: the hot paths below then carry
+        # no observer branches at all (the from_plan -> None contract).
+        self.observation = Observation.from_plan(observe)
+        self._span_recorder = (
+            self.observation.spans if self.observation is not None else None
+        )
+        shared_registry = (
+            self.observation.registry if self.observation is not None else None
+        )
         self.transport = Transport(
             timeout=self.protocol.probe_spacing,
             latency=latency,
             faults=self.faults,
+            metrics=shared_registry,
         )
         # None when probe_retries == 0: the ping path then takes the
         # exact single-send code path (no wrapper, no extra floats).
@@ -139,7 +158,11 @@ class GuessSimulation:
             if self.protocol.probe_retries > 0
             else None
         )
-        self.collector = MetricsCollector(warmup=warmup, keep_queries=keep_queries)
+        self.collector = MetricsCollector(
+            warmup=warmup,
+            keep_queries=keep_queries,
+            registry=shared_registry,
+        )
         self.content = content or ContentModel()
         self.lifetimes = lifetime_model or LifetimeModel(
             multiplier=system.lifespan_multiplier
@@ -176,6 +199,16 @@ class GuessSimulation:
     def trace_digest(self) -> Optional[str]:
         """Executed-event digest (None unless ``trace_hash=True``)."""
         return self.engine.trace_digest
+
+    @property
+    def span_recorder(self):
+        """The attached :class:`~repro.observe.spans.SpanRecorder`, or None."""
+        return self._span_recorder
+
+    @property
+    def metrics_registry(self):
+        """The shared observability registry, or None when not observed."""
+        return self.observation.registry if self.observation is not None else None
 
     @property
     def live_peers(self) -> List[GuessPeer]:
@@ -480,9 +513,15 @@ class GuessSimulation:
             return
         queries_rng = self.rng.stream("queries")
         size = self.bursts.burst_size(queries_rng)
+        recorder = self._span_recorder
         cursor = now
         for _ in range(size):
             target = self.content.draw_query_target(queries_rng)
+            span = (
+                recorder.begin(peer.address, target, cursor)
+                if recorder is not None
+                else None
+            )
             result = execute_query(
                 peer,
                 target,
@@ -490,7 +529,10 @@ class GuessSimulation:
                 cursor,
                 rng=self.rng.stream("policies"),
                 desired_results=self.system.num_desired_results,
+                span=span,
             )
+            if span is not None:
+                recorder.finish(span, result)
             self.collector.record_query(result, cursor)
             cursor += result.duration
         delay = self.bursts.next_burst_delay(queries_rng)
@@ -587,7 +629,7 @@ class GuessSimulation:
             refusals=self.transport.refusals,
             spurious_timeouts=self.transport.spurious_timeouts,
         )
-        return self.collector.build_report()
+        return self.collector.build_report(trace_digest=self.trace_digest)
 
     def snapshot_overlay(self) -> OverlaySnapshot:
         """The conceptual overlay among currently live peers."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.entry import CacheEntry
 from repro.core.messages import QueryReply
@@ -39,6 +39,9 @@ from repro.core.policies import Policy
 from repro.core.query_cache import QueryCache
 from repro.faults.retry import RetryPolicy, probe_with_retry
 from repro.network.transport import ProbeStatus, Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.spans import QuerySpan
 
 
 class CandidatePool:
@@ -137,6 +140,7 @@ def execute_query(
     rng: random.Random,
     desired_results: int = 1,
     max_probes: Optional[int] = None,
+    span: Optional["QuerySpan"] = None,
 ) -> QueryResult:
     """Run one GUESS query from ``peer`` for ``target_file``.
 
@@ -149,6 +153,11 @@ def execute_query(
         desired_results: the ``NumDesiredResults`` stopping threshold.
         max_probes: optional hard cap on probes (used by extent ablations;
             the protocol itself probes to exhaustion).
+        span: optional :class:`~repro.observe.spans.QuerySpan` receiving
+            one :class:`~repro.observe.spans.ProbeRecord` per probe.
+            Recording is pure bookkeeping on the span object — it never
+            touches peer, cache, RNG, or transport state, so a traced
+            query is bit-identical to an untraced one.
 
     Returns:
         A :class:`QueryResult`.
@@ -162,9 +171,12 @@ def execute_query(
     link_entries = peer.link_cache.entries()
     for entry in link_entries:
         pool.add(entry)
+    # QueryCache copies this set, so reusing it below for span origin
+    # tagging ("link" vs "query" target) reads the same frozen snapshot.
+    link_addresses = {entry.address for entry in link_entries}
     query_cache = QueryCache(
         owner=peer.address,
-        excluded={entry.address for entry in link_entries},
+        excluded=link_addresses,
     )
 
     message = peer.query_message(target_file)
@@ -209,7 +221,17 @@ def execute_query(
             address = entry.address
             query_cache.mark_seen(address)
             if defense is not None and defense.blocked(address):
-                peer.link_cache.evict(address)
+                blocked_evicted = peer.link_cache.evict(address)
+                if span is not None:
+                    span.record_probe(
+                        wave=waves - 1,
+                        time=wave_time,
+                        target=address,
+                        origin="link" if address in link_addresses else "query",
+                        status="blocked",
+                        evicted=blocked_evicted,
+                        eviction_cause="blocked" if blocked_evicted else None,
+                    )
                 continue
             if retry is None:
                 outcome = transport.probe(
@@ -239,14 +261,41 @@ def execute_query(
                         wrongful += 1
                 if defense is not None:
                     defense.record_dead(address)
+                if span is not None:
+                    span.record_probe(
+                        wave=waves - 1,
+                        time=wave_time,
+                        target=address,
+                        origin="link" if address in link_addresses else "query",
+                        status="timeout",
+                        rtt=outcome.rtt,
+                        retries=0 if retry is None else attempt.retries,
+                        spurious=outcome.spurious,
+                        evicted=evicted,
+                        eviction_cause="dead" if evicted else None,
+                    )
                 continue
 
             if outcome.status is ProbeStatus.REFUSED:
                 refused += 1
+                refusal_evicted = False
                 if not protocol.do_backoff:
                     # The paper's inherent throttling: treat the refusal
                     # like a death so the entry stops circulating in pongs.
-                    peer.link_cache.evict(address)
+                    refusal_evicted = peer.link_cache.evict(address)
+                if span is not None:
+                    span.record_probe(
+                        wave=waves - 1,
+                        time=wave_time,
+                        target=address,
+                        origin="link" if address in link_addresses else "query",
+                        status="refused",
+                        rtt=outcome.rtt,
+                        retries=0 if retry is None else attempt.retries,
+                        recovered=False if retry is None else attempt.recovered,
+                        evicted=refusal_evicted,
+                        eviction_cause="refusal" if refusal_evicted else None,
+                    )
                 continue
 
             good += 1
@@ -273,6 +322,7 @@ def execute_query(
             # Ingest the piggybacked pong: query cache feeds the pool,
             # and every shared entry is offered to the link cache too.
             reset = policies.reset_num_results
+            admitted = 0
             for shared in reply.pong.entries:
                 if defense is not None:
                     if defense.blocked(shared.address):
@@ -282,6 +332,22 @@ def execute_query(
                 if query_cache.add(imported):
                     pool.add(imported)
                     peer.offer_entry_to_link_cache(imported, wave_time)
+                    admitted += 1
+
+            if span is not None:
+                span.record_probe(
+                    wave=waves - 1,
+                    time=wave_time,
+                    target=address,
+                    origin="link" if address in link_addresses else "query",
+                    status="delivered",
+                    rtt=outcome.rtt,
+                    retries=0 if retry is None else attempt.retries,
+                    recovered=False if retry is None else attempt.recovered,
+                    results=reply.num_results,
+                    pong_entries=len(reply.pong.entries),
+                    admitted=admitted,
+                )
 
         slip += wave_slip
 

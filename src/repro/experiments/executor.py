@@ -29,6 +29,7 @@ A parallel sweep is therefore byte-identical to the serial one, which
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from repro.core.params import ProtocolParams, SystemParams
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
+from repro.observe.profiler import active_profiler
 
 
 @dataclass(frozen=True)
@@ -80,6 +82,15 @@ def execute_trial(spec: TrialSpec) -> SimulationReport:
         faults=spec.faults,
         trace_hash=spec.trace_hash,
     )
+    # Profiling hook: when a profiler is active in this process, the
+    # engine reports this trial's (events, wall, sim-seconds) sample.
+    # The profiler only reads engine counters — the simulation itself is
+    # untouched.  Pool workers see no active profiler (it does not cross
+    # process boundaries); their wall time is covered by the parent's
+    # batch samples.
+    profiler = active_profiler()
+    if profiler is not None:
+        sim.engine.profiler = profiler
     sim.run(spec.warmup + spec.duration)
     return sim.report()
 
@@ -136,7 +147,15 @@ class SerialTrialExecutor(TrialExecutor):
         fn: Callable[[_Item], Any],
         items: Iterable[_Item],
     ) -> List[Any]:
-        return [fn(item) for item in items]
+        profiler = active_profiler()
+        if profiler is None:
+            return [fn(item) for item in items]
+        batch = list(items)
+        started = time.perf_counter()  # repro: allow-wallclock (profiling)
+        results = [fn(item) for item in batch]
+        elapsed = time.perf_counter() - started  # repro: allow-wallclock
+        profiler.record_batch(len(batch), elapsed)
+        return results
 
 
 class ProcessTrialExecutor(TrialExecutor):
@@ -164,13 +183,26 @@ class ProcessTrialExecutor(TrialExecutor):
         items: Iterable[_Item],
     ) -> List[Any]:
         items = list(items)
+        profiler = active_profiler()
         if len(items) <= 1 or self.workers == 1:
-            return [fn(item) for item in items]
+            if profiler is None:
+                return [fn(item) for item in items]
+            started = time.perf_counter()  # repro: allow-wallclock (profiling)
+            results = [fn(item) for item in items]
+            elapsed = time.perf_counter() - started  # repro: allow-wallclock
+            profiler.record_batch(len(items), elapsed)
+            return results
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         # Executor.map preserves input order regardless of which worker
         # finishes first — the trial-order-stability guarantee.
-        return list(self._pool.map(fn, items))
+        if profiler is None:
+            return list(self._pool.map(fn, items))
+        started = time.perf_counter()  # repro: allow-wallclock (profiling)
+        results = list(self._pool.map(fn, items))
+        elapsed = time.perf_counter() - started  # repro: allow-wallclock
+        profiler.record_batch(len(items), elapsed)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack, nullcontext
 from typing import Callable, Dict, List
 
 from repro.experiments import (
@@ -34,6 +35,13 @@ from repro.experiments import (
 )
 from repro.experiments.profiles import PROFILES, get_profile
 from repro.experiments.runner import ExperimentResult
+from repro.observe.manifest import (
+    ManifestRecorder,
+    write_manifest,
+)
+from repro.observe.manifest import activated as manifest_activated
+from repro.observe.profiler import Profiler
+from repro.observe.profiler import activated as profiler_activated
 
 #: Suite name -> suite runner.
 SUITES: Dict[str, Callable] = {
@@ -139,6 +147,30 @@ def main(argv: List[str] | None = None) -> int:
             "before dispatch and reports return in trial order"
         ),
     )
+    parser.add_argument(
+        "--profile-report",
+        action="store_true",
+        help=(
+            "append a per-suite profiling table (wall seconds, engine "
+            "events/s, simulated-seconds/s) to the output"
+        ),
+    )
+    parser.add_argument(
+        "--manifest",
+        default="manifest.json",
+        metavar="PATH",
+        help=(
+            "write a reproducibility manifest (params, fault plans, "
+            "derived seeds, per-trial trace digests, package version) to "
+            "PATH (default: manifest.json); verify it later with "
+            "'python -m repro.observe.manifest PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--no-manifest",
+        action="store_true",
+        help="skip writing the manifest (also skips per-trial trace hashing)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
@@ -152,18 +184,31 @@ def main(argv: List[str] | None = None) -> int:
         f"(duration={profile.duration:.0f}s, warmup={profile.warmup:.0f}s, "
         f"trials={profile.trials}, workers={args.workers})"
     ]
+    recorder = None if args.no_manifest else ManifestRecorder()
+    profiler = Profiler() if args.profile_report else None
     timings: List[tuple] = []
     started = time.time()  # repro: allow-wallclock (reporting-only timing)
-    for suite_name in suites:
-        suite_started = time.time()  # repro: allow-wallclock
-        results: List[ExperimentResult] = SUITES[suite_name](
-            profile, workers=args.workers
-        )
-        elapsed = time.time() - suite_started  # repro: allow-wallclock
-        timings.append((suite_name, elapsed))
-        blocks.append(f"-- suite {suite_name} ({elapsed:.1f}s) --")
-        for result in results:
-            blocks.append(result.render())
+    with ExitStack() as stack:
+        if recorder is not None:
+            stack.enter_context(manifest_activated(recorder))
+        if profiler is not None:
+            stack.enter_context(profiler_activated(profiler))
+        for suite_name in suites:
+            suite_started = time.time()  # repro: allow-wallclock
+            phase = (
+                profiler.phase(suite_name)
+                if profiler is not None
+                else nullcontext()
+            )
+            with phase:
+                results: List[ExperimentResult] = SUITES[suite_name](
+                    profile, workers=args.workers
+                )
+            elapsed = time.time() - suite_started  # repro: allow-wallclock
+            timings.append((suite_name, elapsed))
+            blocks.append(f"-- suite {suite_name} ({elapsed:.1f}s) --")
+            for result in results:
+                blocks.append(result.render())
     total = time.time() - started  # repro: allow-wallclock
     summary = ["-- wall-clock summary --"]
     for suite_name, elapsed in timings:
@@ -173,12 +218,25 @@ def main(argv: List[str] | None = None) -> int:
         f"{'total wall time':<20} {total:9.1f}s  (workers={args.workers})"
     )
     blocks.append("\n".join(summary))
+    if profiler is not None:
+        blocks.append(profiler.render())
 
     text = "\n\n".join(blocks)
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+    if recorder is not None:
+        manifest = recorder.build(
+            profile=profile.name,
+            suites=suites,
+            workers=args.workers,
+            wall_clock_seconds=total,
+            command=["python", "-m", "repro.experiments.run_all"]
+            + list(argv if argv is not None else sys.argv[1:]),
+        )
+        write_manifest(args.manifest, manifest)
+        print(f"manifest written to {args.manifest}")
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.experiments.executor import TrialExecutor, TrialSpec, get_executor
 from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 from repro.metrics.summary import mean
+from repro.observe.manifest import active_manifest_recorder
 from repro.reporting.series import format_series_block
 from repro.reporting.tables import format_table
 from repro.sim.rng import derive_seed
@@ -81,6 +82,7 @@ def run_guess_config(
     mutate: Optional[Callable[[GuessSimulation], None]] = None,
     workers: int = 1,
     executor: Optional[TrialExecutor] = None,
+    trace_hash: bool = False,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
 
@@ -104,10 +106,17 @@ def run_guess_config(
             ``workers=1`` and arrive in the same (trial) order.
         executor: run trials on this executor instead of building one
             from ``workers`` (suites reuse one pool across a whole sweep).
+        trace_hash: fold every trial's event stream into a trace digest
+            (:attr:`SimulationReport.trace_digest`).  Forced on while a
+            manifest recorder is active, so every recorded configuration
+            carries per-trial digests that :func:`replay_config` can
+            verify bit for bit.
 
     Returns:
         One report per trial, in trial order.
     """
+    recorder = active_manifest_recorder()
+    capture = trace_hash or recorder is not None
     specs = [
         TrialSpec(
             system=system,
@@ -118,6 +127,7 @@ def run_guess_config(
             keep_queries=keep_queries,
             health_sample_interval=health_sample_interval,
             faults=faults,
+            trace_hash=capture,
         )
         for trial in range(trials)
     ]
@@ -132,15 +142,30 @@ def run_guess_config(
                 keep_queries=keep_queries,
                 health_sample_interval=health_sample_interval,
                 faults=faults,
+                trace_hash=capture,
             )
             mutate(sim)
             sim.run(warmup + duration)
             reports.append(sim.report())
-        return reports
-    if executor is not None:
-        return executor.run_trials(specs)
-    with get_executor(workers) as owned:
-        return owned.run_trials(specs)
+    elif executor is not None:
+        reports = executor.run_trials(specs)
+    else:
+        with get_executor(workers) as owned:
+            reports = owned.run_trials(specs)
+    if recorder is not None:
+        recorder.record_config(
+            system=system,
+            protocol=protocol,
+            faults=faults,
+            duration=duration,
+            warmup=warmup,
+            trials=trials,
+            base_seed=base_seed,
+            health_sample_interval=health_sample_interval,
+            seeds=[spec.seed for spec in specs],
+            digests=[report.trace_digest for report in reports],
+        )
+    return reports
 
 
 def averaged(

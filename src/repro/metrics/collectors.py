@@ -24,6 +24,7 @@ from repro.core.search import QueryResult
 from repro.metrics.load import LoadDistribution
 from repro.metrics.summary import mean, ratio
 from repro.network.address import Address
+from repro.observe.registry import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,9 +79,31 @@ class MetricsCollector:
         keep_queries: retain every :class:`QueryResult` (needed only by
             analyses that want full distributions; the aggregate path is
             default to keep long runs light).
+        registry: optional shared
+            :class:`~repro.observe.registry.MetricsRegistry` holding the
+            collector's counters (a private one is built by default).
+            Sharing a windowed registry yields per-window snapshots of
+            ping/churn activity; the compatibility properties below keep
+            every historical read site working unchanged.
     """
 
-    def __init__(self, warmup: float = 0.0, keep_queries: bool = False) -> None:
+    #: Registry names of the collector's instruments.
+    METRIC_PINGS_SENT = "sim.pings_sent"
+    METRIC_DEAD_PINGS = "sim.dead_pings"
+    METRIC_SPURIOUS_DEAD_PINGS = "sim.spurious_dead_pings"
+    METRIC_PING_RETRIES = "sim.ping_retries"
+    METRIC_PING_RETRY_RECOVERIES = "sim.ping_retry_recoveries"
+    METRIC_WRONGFUL_PING_EVICTIONS = "sim.wrongful_ping_evictions"
+    METRIC_BIRTHS = "sim.births"
+    METRIC_DEATHS = "sim.deaths"
+    METRIC_QUERIES = "sim.queries"
+
+    def __init__(
+        self,
+        warmup: float = 0.0,
+        keep_queries: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
         self.warmup = float(warmup)
@@ -90,14 +113,23 @@ class MetricsCollector:
         self._loads: Dict[Address, int] = {}
         self._refusals: Dict[Address, int] = {}
         self._health: List[CacheHealthSample] = []
-        self.pings_sent = 0
-        self.dead_pings = 0
-        self.spurious_dead_pings = 0
-        self.ping_retries = 0
-        self.ping_retry_recoveries = 0
-        self.wrongful_ping_evictions = 0
-        self.births = 0
-        self.deaths = 0
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._observed = registry is not None
+        self._c_pings = self._registry.counter(self.METRIC_PINGS_SENT)
+        self._c_dead_pings = self._registry.counter(self.METRIC_DEAD_PINGS)
+        self._c_spurious_dead = self._registry.counter(
+            self.METRIC_SPURIOUS_DEAD_PINGS
+        )
+        self._c_ping_retries = self._registry.counter(self.METRIC_PING_RETRIES)
+        self._c_ping_recoveries = self._registry.counter(
+            self.METRIC_PING_RETRY_RECOVERIES
+        )
+        self._c_wrongful_pings = self._registry.counter(
+            self.METRIC_WRONGFUL_PING_EVICTIONS
+        )
+        self._c_births = self._registry.counter(self.METRIC_BIRTHS)
+        self._c_deaths = self._registry.counter(self.METRIC_DEATHS)
+        self._c_queries = self._registry.counter(self.METRIC_QUERIES)
         # Transport-lifetime counters, recorded once at report time (not
         # warmup-filtered: they describe the wire, not the measurement
         # window).
@@ -114,6 +146,9 @@ class MetricsCollector:
         """Record one query outcome (ignored during warmup)."""
         if time < self.warmup:
             return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_queries.inc()
         agg = self._agg
         agg.count += 1
         agg.satisfied += 1 if result.satisfied else 0
@@ -155,26 +190,32 @@ class MetricsCollector:
         """
         if time < self.warmup:
             return
-        self.pings_sent += 1
-        self.ping_retries += retries
+        if self._observed:
+            self._registry.advance(time)
+        self._c_pings.inc()
+        self._c_ping_retries.inc(retries)
         if recovered:
-            self.ping_retry_recoveries += 1
+            self._c_ping_recoveries.inc()
         if dead:
-            self.dead_pings += 1
+            self._c_dead_pings.inc()
             if spurious:
-                self.spurious_dead_pings += 1
+                self._c_spurious_dead.inc()
             if wrongful:
-                self.wrongful_ping_evictions += 1
+                self._c_wrongful_pings.inc()
 
     def record_death(self, time: float) -> None:
         """Count a peer departure (post-warmup)."""
         if time >= self.warmup:
-            self.deaths += 1
+            if self._observed:
+                self._registry.advance(time)
+            self._c_deaths.inc()
 
     def record_birth(self, time: float) -> None:
         """Count a peer arrival (post-warmup)."""
         if time >= self.warmup:
-            self.births += 1
+            if self._observed:
+                self._registry.advance(time)
+            self._c_births.inc()
 
     def harvest_peer(
         self, address: Address, probes_received: int, probes_refused: int
@@ -215,11 +256,65 @@ class MetricsCollector:
         self.transport_spurious_timeouts = spurious_timeouts
 
     # ------------------------------------------------------------------
+    # Registry access and compatibility properties
+    # ------------------------------------------------------------------
+    # The scalar counters moved into a MetricsRegistry (named
+    # instruments, optional windowing); these properties keep every
+    # historical read site — and the report construction below —
+    # working on plain ints.
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry holding this collector's instruments."""
+        return self._registry
+
+    @property
+    def pings_sent(self) -> int:
+        return self._c_pings.value
+
+    @property
+    def dead_pings(self) -> int:
+        return self._c_dead_pings.value
+
+    @property
+    def spurious_dead_pings(self) -> int:
+        return self._c_spurious_dead.value
+
+    @property
+    def ping_retries(self) -> int:
+        return self._c_ping_retries.value
+
+    @property
+    def ping_retry_recoveries(self) -> int:
+        return self._c_ping_recoveries.value
+
+    @property
+    def wrongful_ping_evictions(self) -> int:
+        return self._c_wrongful_pings.value
+
+    @property
+    def births(self) -> int:
+        return self._c_births.value
+
+    @property
+    def deaths(self) -> int:
+        return self._c_deaths.value
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
-    def build_report(self) -> "SimulationReport":
-        """Freeze the accumulated metrics into a report."""
+    def build_report(
+        self, trace_digest: Optional[str] = None
+    ) -> "SimulationReport":
+        """Freeze the accumulated metrics into a report.
+
+        Args:
+            trace_digest: the engine's executed-event digest, when the
+                run was traced (``trace_hash=True``); lands on
+                :attr:`SimulationReport.trace_digest` so manifests can
+                record it per trial.
+        """
         agg = self._agg
         return SimulationReport(
             queries=agg.count,
@@ -254,6 +349,7 @@ class MetricsCollector:
             transport_timeouts=self.transport_timeouts,
             transport_refusals=self.transport_refusals,
             transport_spurious_timeouts=self.transport_spurious_timeouts,
+            trace_digest=trace_digest,
         )
 
 
@@ -300,6 +396,10 @@ class SimulationReport:
     transport_timeouts: int = 0
     transport_refusals: int = 0
     transport_spurious_timeouts: int = 0
+    #: Executed-event digest of the run (None unless ``trace_hash=True``);
+    #: recorded into run manifests so published numbers can be replayed
+    #: and verified bit for bit.
+    trace_digest: Optional[str] = None
 
     # -- Paper metrics --------------------------------------------------
 

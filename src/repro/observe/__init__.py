@@ -1,0 +1,79 @@
+"""repro.observe — the observability layer.
+
+Four channels, one contract:
+
+* **query spans** (:mod:`repro.observe.spans`) — per-query causal
+  lifecycles: probe order, per-probe outcome/RTT/retries, link- vs
+  query-cache target origin, pong harvest, eviction causality;
+* **metrics registry** (:mod:`repro.observe.registry`) — named
+  counters/gauges/histograms with fixed-width time-window snapshots,
+  backing the transport's and collector's counters;
+* **profiling hooks** (:mod:`repro.observe.profiler`) — per-phase
+  wall-clock and engine events/s sampling, surfaced by
+  ``run_all --profile-report``;
+* **run manifests** (:mod:`repro.observe.manifest`) — a JSON record of
+  every executed configuration (params, fault plan, derived seeds,
+  trace digests, package version) from which the run can be replayed
+  and verified bit for bit.
+
+The contract: observation never perturbs the simulation.  Observers
+disabled (``Observation.from_plan`` → ``None``) means the exact
+pre-observability code path; observers enabled means the trace digest is
+*still* bit-identical, because recording only appends to observer-owned
+state — it never schedules events, draws randomness, or mutates protocol
+state.  ``tests/integration/test_determinism.py`` and
+``tests/property/test_observe_invisibility.py`` hold this line.
+"""
+
+from repro.observe.plan import Observation, ObservationPlan
+from repro.observe.profiler import Profiler, active_profiler
+from repro.observe.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WindowSnapshot,
+)
+from repro.observe.spans import ProbeRecord, QuerySpan, SpanRecorder
+
+#: Manifest symbols resolve lazily: :mod:`repro.observe.manifest` needs
+#: the params and fault-plan modules, which sit *above* the transport in
+#: the import graph — and the transport imports this package for its
+#: registry.  Deferring the manifest import breaks that cycle without
+#: pushing lazy imports into every host module.
+_MANIFEST_EXPORTS = frozenset({
+    "ManifestRecorder",
+    "load_manifest",
+    "replay_config",
+    "verify_manifest",
+    "write_manifest",
+})
+
+
+def __getattr__(name):
+    if name in _MANIFEST_EXPORTS:
+        from repro.observe import manifest
+
+        return getattr(manifest, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestRecorder",
+    "MetricsRegistry",
+    "Observation",
+    "ObservationPlan",
+    "ProbeRecord",
+    "Profiler",
+    "QuerySpan",
+    "SpanRecorder",
+    "WindowSnapshot",
+    "active_profiler",
+    "load_manifest",
+    "replay_config",
+    "verify_manifest",
+    "write_manifest",
+]

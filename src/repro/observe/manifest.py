@@ -1,0 +1,284 @@
+"""Run manifests: the reproducibility record of an experiment run.
+
+Every ``run_all`` invocation writes a ``manifest.json`` capturing, for
+each configuration :func:`~repro.experiments.runner.run_guess_config`
+executed: the full :class:`~repro.core.params.SystemParams`,
+:class:`~repro.core.params.ProtocolParams` and
+:class:`~repro.faults.plan.FaultPlan`, the derived per-trial seeds, and
+each trial's trace digest — plus the package version, profile, suite
+list and wall clock.  Any published number is then reproducible from its
+manifest alone: :func:`replay_config` re-runs a recorded configuration
+and :func:`verify_manifest` asserts the digests match bit for bit
+(``python -m repro.observe.manifest manifest.json`` from the CLI).
+
+Capture piggybacks on the one choke point all suites share:
+:func:`run_guess_config` consults :func:`active_manifest_recorder` and,
+when a recorder is installed (via :func:`activated`), forces
+``trace_hash=True`` on every trial and appends one config entry after
+the reports return.  Suites that drive simulations directly (the
+ping-interval LCC snapshots) contribute no config entries; the manifest
+still records the exact command to re-launch them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from contextlib import contextmanager
+from dataclasses import asdict
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.faults.plan import (
+    BrownoutSpec,
+    FaultPlan,
+    GilbertElliott,
+    PartitionWindow,
+)
+from repro.sim.rng import derive_seed
+
+#: Bumped when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Parameter (de)serialisation
+# ----------------------------------------------------------------------
+
+
+def system_to_jsonable(system: SystemParams) -> dict:
+    """JSON-ready dict for :class:`SystemParams` (enum by name)."""
+    data = asdict(system)
+    data["bad_pong_behavior"] = system.bad_pong_behavior.name
+    return data
+
+
+def system_from_jsonable(data: dict) -> SystemParams:
+    """Inverse of :func:`system_to_jsonable`."""
+    data = dict(data)
+    data["bad_pong_behavior"] = BadPongBehavior[data["bad_pong_behavior"]]
+    return SystemParams(**data)
+
+
+def protocol_to_jsonable(protocol: ProtocolParams) -> dict:
+    """JSON-ready dict for :class:`ProtocolParams` (all scalars)."""
+    return asdict(protocol)
+
+
+def protocol_from_jsonable(data: dict) -> ProtocolParams:
+    """Inverse of :func:`protocol_to_jsonable`."""
+    return ProtocolParams(**data)
+
+
+def faults_to_jsonable(faults: Optional[FaultPlan]) -> Optional[dict]:
+    """JSON-ready dict for a :class:`FaultPlan` (None stays None)."""
+    if faults is None:
+        return None
+    data = asdict(faults)
+    data["partitions"] = [asdict(window) for window in faults.partitions]
+    return data
+
+
+def faults_from_jsonable(data: Optional[dict]) -> Optional[FaultPlan]:
+    """Inverse of :func:`faults_to_jsonable`."""
+    if data is None:
+        return None
+    return FaultPlan(
+        loss_rate=data["loss_rate"],
+        burst=GilbertElliott(**data["burst"]),
+        jitter=data["jitter"],
+        brownouts=BrownoutSpec(**data["brownouts"]),
+        partitions=tuple(
+            PartitionWindow(**window) for window in data["partitions"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+
+
+class ManifestRecorder:
+    """Accumulates one config entry per :func:`run_guess_config` call."""
+
+    def __init__(self) -> None:
+        self.configs: List[dict] = []
+
+    def record_config(
+        self,
+        *,
+        system: SystemParams,
+        protocol: ProtocolParams,
+        faults: Optional[FaultPlan],
+        duration: float,
+        warmup: float,
+        trials: int,
+        base_seed: int,
+        health_sample_interval: Optional[float],
+        seeds: Sequence[int],
+        digests: Sequence[Optional[str]],
+    ) -> None:
+        """Append one executed configuration with its seeds and digests."""
+        self.configs.append({
+            "system": system_to_jsonable(system),
+            "protocol": protocol_to_jsonable(protocol),
+            "faults": faults_to_jsonable(faults),
+            "duration": duration,
+            "warmup": warmup,
+            "trials": trials,
+            "base_seed": base_seed,
+            "health_sample_interval": health_sample_interval,
+            "seeds": list(seeds),
+            "trace_digests": list(digests),
+        })
+
+    def build(
+        self,
+        *,
+        profile: str,
+        suites: Sequence[str],
+        workers: int,
+        wall_clock_seconds: float,
+        command: Optional[Sequence[str]] = None,
+    ) -> dict:
+        """Freeze everything recorded so far into a manifest dict."""
+        from repro import __version__
+
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "package_version": __version__,
+            "profile": profile,
+            "suites": list(suites),
+            "workers": workers,
+            "wall_clock_seconds": wall_clock_seconds,
+            "command": list(command) if command is not None else None,
+            "configs": list(self.configs),
+        }
+
+
+_ACTIVE: Optional[ManifestRecorder] = None
+
+
+def active_manifest_recorder() -> Optional[ManifestRecorder]:
+    """The recorder installed by :func:`activated`, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(recorder: ManifestRecorder) -> Iterator[ManifestRecorder]:
+    """Install ``recorder`` as the process-wide active recorder."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# I/O
+# ----------------------------------------------------------------------
+
+
+def write_manifest(path, manifest: dict) -> None:
+    """Write ``manifest`` as pretty-printed, key-sorted JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_manifest(path) -> dict:
+    """Read a manifest written by :func:`write_manifest`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# Replay / verification
+# ----------------------------------------------------------------------
+
+
+def replay_config(entry: dict, *, workers: int = 1) -> Tuple[str, ...]:
+    """Re-run one recorded configuration; return its trace digests.
+
+    Imports the runner lazily: the runner module imports this module for
+    the active-recorder hook, so a module-level import back would cycle.
+    """
+    from repro.experiments.runner import run_guess_config
+
+    reports = run_guess_config(
+        system_from_jsonable(entry["system"]),
+        protocol_from_jsonable(entry["protocol"]),
+        duration=entry["duration"],
+        warmup=entry["warmup"],
+        trials=entry["trials"],
+        base_seed=entry["base_seed"],
+        health_sample_interval=entry["health_sample_interval"],
+        faults=faults_from_jsonable(entry["faults"]),
+        workers=workers,
+        trace_hash=True,
+    )
+    return tuple(report.trace_digest for report in reports)
+
+
+def verify_manifest(manifest: dict, *, workers: int = 1) -> List[str]:
+    """Replay every config entry; return human-readable mismatch lines.
+
+    An empty return means the manifest reproduced bit for bit: every
+    recorded seed re-derives and every trace digest matches.
+    """
+    problems: List[str] = []
+    for index, entry in enumerate(manifest.get("configs", [])):
+        expected_seeds = [
+            derive_seed(entry["base_seed"], f"trial:{trial}")
+            for trial in range(entry["trials"])
+        ]
+        if expected_seeds != entry["seeds"]:
+            problems.append(
+                f"config {index}: recorded seeds do not re-derive from "
+                f"base_seed {entry['base_seed']}"
+            )
+            continue
+        digests = replay_config(entry, workers=workers)
+        expected = tuple(entry["trace_digests"])
+        if digests != expected:
+            problems.append(
+                f"config {index}: trace digests diverge "
+                f"(expected {expected}, got {digests})"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: re-run a manifest's configs and verify their digests."""
+    parser = argparse.ArgumentParser(
+        description="Verify that a run manifest reproduces bit for bit."
+    )
+    parser.add_argument("manifest", help="path to a manifest.json")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trial-level parallelism for the replay (default: serial)",
+    )
+    args = parser.parse_args(argv)
+    manifest = load_manifest(args.manifest)
+    configs: Sequence[dict] = manifest.get("configs", [])
+    problems = verify_manifest(manifest, workers=args.workers)
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(
+        f"manifest OK: {len(configs)} configs, "
+        f"{sum(len(c['seeds']) for c in configs)} trials reproduced bit for bit"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Phase-structured wall-clock profiling for experiment sweeps.
+
+A :class:`Profiler` aggregates three sample kinds under named phases
+(typically one phase per suite):
+
+* **phase wall time** — :meth:`Profiler.phase` context-manager spans;
+* **engine samples** — per-``run_until`` event counts, wall seconds and
+  simulated seconds, recorded by :class:`~repro.sim.engine.Simulator`
+  when its ``profiler`` attribute is set;
+* **batch samples** — trial-batch sizes and wall seconds, recorded by
+  the executors in :mod:`repro.experiments.executor`.
+
+The active profiler travels through a module-level context
+(:func:`activated` / :func:`active_profiler`) rather than through every
+call signature, because trials are dispatched through a deep call chain
+(``run_all`` → suite → ``run_guess_config`` → executor → trial) that
+should not grow a threading parameter.  Process-pool workers have no
+access to the parent's profiler, so their engine samples are absent by
+design — batch wall-clock (measured in the parent) still covers them.
+
+Determinism contract: the profiler reads the wall clock (that is its
+job) but never influences the simulation — it only *observes* event
+counts the engine already tracks.  Wall-clock reads are confined to this
+module and the engine hook, each carrying an ``allow-wallclock`` pragma.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.reporting.tables import format_table
+
+#: Phase name used for samples recorded outside any phase() block.
+GLOBAL_PHASE = "(global)"
+
+
+class _PhaseStats:
+    """Accumulated samples for one phase."""
+
+    __slots__ = (
+        "wall_seconds",
+        "engine_events",
+        "engine_wall",
+        "engine_sim",
+        "engine_samples",
+        "batch_items",
+        "batch_wall",
+        "batches",
+    )
+
+    def __init__(self) -> None:
+        self.wall_seconds = 0.0
+        self.engine_events = 0
+        self.engine_wall = 0.0
+        self.engine_sim = 0.0
+        self.engine_samples = 0
+        self.batch_items = 0
+        self.batch_wall = 0.0
+        self.batches = 0
+
+
+class Profiler:
+    """Collects per-phase wall-clock and engine throughput samples."""
+
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._stats: Dict[str, _PhaseStats] = {}
+        self._current = GLOBAL_PHASE
+
+    def _phase_stats(self, name: str) -> _PhaseStats:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = _PhaseStats()
+            self._stats[name] = stats
+            self._order.append(name)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute nested samples (and wall time) to phase ``name``."""
+        previous = self._current
+        self._current = name
+        started = time.perf_counter()  # repro: allow-wallclock (profiling)
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started  # repro: allow-wallclock
+            self._phase_stats(name).wall_seconds += elapsed
+            self._current = previous
+
+    def record_engine(
+        self, *, events: int, wall_seconds: float, sim_seconds: float
+    ) -> None:
+        """Absorb one engine ``run_until`` sample into the current phase."""
+        stats = self._phase_stats(self._current)
+        stats.engine_events += events
+        stats.engine_wall += wall_seconds
+        stats.engine_sim += sim_seconds
+        stats.engine_samples += 1
+
+    def record_batch(self, items: int, wall_seconds: float) -> None:
+        """Absorb one executor batch sample into the current phase."""
+        stats = self._phase_stats(self._current)
+        stats.batch_items += items
+        stats.batch_wall += wall_seconds
+        stats.batches += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def phases(self) -> List[str]:
+        """Phase names in first-seen order."""
+        return list(self._order)
+
+    def events_per_second(self, name: str) -> Optional[float]:
+        """Engine events/s for phase ``name`` (None without samples)."""
+        stats = self._stats.get(name)
+        if stats is None or not stats.engine_wall:
+            return None
+        return stats.engine_events / stats.engine_wall
+
+    def render(self) -> str:
+        """Plain-text profile table, one row per phase."""
+        columns = (
+            "phase",
+            "wall s",
+            "engine events",
+            "events/s",
+            "sim-s/s",
+            "trials",
+        )
+        rows = []
+        for name in self._order:
+            stats = self._stats[name]
+            events_rate = (
+                stats.engine_events / stats.engine_wall
+                if stats.engine_wall
+                else float("nan")
+            )
+            sim_rate = (
+                stats.engine_sim / stats.engine_wall
+                if stats.engine_wall
+                else float("nan")
+            )
+            rows.append((
+                name,
+                stats.wall_seconds,
+                stats.engine_events,
+                events_rate,
+                sim_rate,
+                stats.batch_items,
+            ))
+        return format_table(columns, rows, title="profile report")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Profiler(phases={len(self._order)})"
+
+
+# ----------------------------------------------------------------------
+# Active-profiler context
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[Profiler] = None
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The profiler installed by :func:`activated`, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(profiler: Profiler) -> Iterator[Profiler]:
+    """Install ``profiler`` as the process-wide active profiler."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,282 @@
+"""Named metric instruments with fixed-width time-window snapshots.
+
+The registry replaces the ad-hoc integer counter fields that used to be
+scattered across :mod:`repro.metrics.collectors` and
+:mod:`repro.network.transport` with three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing total (``inc``);
+* :class:`Gauge` — a last-value-wins level (``set``);
+* :class:`Histogram` — bucketed observations (``observe``), used for
+  per-probe RTTs.
+
+Determinism contract: instruments are **passive**.  They never schedule
+engine events, never draw randomness, and never read the wall clock —
+window rolling is driven lazily by the virtual timestamps the host
+already passes to its ``record_*`` calls (:meth:`MetricsRegistry.advance`).
+Attaching a registry to a simulation therefore cannot perturb the event
+stream; the pinned golden trace digests stay bit-identical with the
+registry on or off, which ``tests/integration/test_determinism.py``
+asserts.
+
+Windows are fixed-width and aligned to the virtual-time origin: window
+``k`` covers ``[k*w, (k+1)*w)``.  Empty windows (no instrument changed)
+are skipped rather than materialised, so a sparse run does not produce a
+flood of all-zero snapshots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from math import floor
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+#: Default histogram bucket upper bounds (seconds) — sized for probe
+#: RTTs, whose fault-free range is [timeout/4, timeout] around 0.2 s.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
+
+class Counter:
+    """A named monotonic total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named last-value-wins level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Bucketed observations with running count and sum.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or any(
+            b >= c for b, c in zip(ordered, ordered[1:])
+        ):
+            raise ConfigError(
+                f"histogram {name}: bounds must be strictly increasing "
+                f"and non-empty, got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Overflow observations report the last finite bound (the
+        histogram cannot resolve beyond it).  0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                return self.bounds[min(index, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4f})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One closed time window's worth of metric activity.
+
+    ``values`` maps instrument name to its in-window activity: counters
+    and histograms report the **delta** accrued inside the window,
+    gauges report their level at window close.
+    """
+
+    start: float
+    end: float
+    values: Mapping[str, float]
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (values sorted by instrument name)."""
+        return {
+            "start": self.start,
+            "end": self.end,
+            "values": {name: self.values[name] for name in sorted(self.values)},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create directory of named instruments.
+
+    Args:
+        window: fixed window width in virtual seconds; ``None`` (the
+            default) disables windowing entirely — :meth:`advance`
+            becomes a no-op and only lifetime totals are kept.
+
+    Hosts call :meth:`advance` with the virtual timestamps they already
+    carry (probe times, record times); the registry lazily closes every
+    window boundary crossed since the previous call.  Time never runs
+    backwards past a closed window — stale timestamps are ignored.
+    """
+
+    def __init__(self, window: Optional[float] = None) -> None:
+        if window is not None and window <= 0:
+            raise ConfigError(f"window must be > 0, got {window}")
+        self.window = float(window) if window is not None else None
+        self._instruments: Dict[str, Instrument] = {}
+        self._snapshots: List[WindowSnapshot] = []
+        self._marks: Dict[str, float] = {}
+        self._window_start = 0.0
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+
+    def _get_or_create(self, name: str, kind, factory) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise ConfigError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds)
+        )
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered instrument."""
+        return sorted(self._instruments)
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+
+    def _instrument_level(self, instrument: Instrument) -> float:
+        if type(instrument) is Gauge:
+            return instrument.value
+        if type(instrument) is Histogram:
+            return float(instrument.count)
+        return float(instrument.value)
+
+    def advance(self, now: float) -> None:
+        """Close every window boundary at or before ``now``.
+
+        Called by hosts with virtual timestamps only.  Windows in which
+        no instrument changed are skipped, and the current window jumps
+        straight to the one containing ``now``.
+        """
+        width = self.window
+        if width is None:
+            return
+        end = self._window_start + width
+        if now < end:
+            return
+        values: Dict[str, float] = {}
+        for name, instrument in self._instruments.items():
+            level = self._instrument_level(instrument)
+            delta = (
+                level
+                if type(instrument) is Gauge
+                else level - self._marks.get(name, 0.0)
+            )
+            if type(instrument) is Gauge or delta != 0.0:
+                values[name] = delta
+            self._marks[name] = level
+        if values:
+            self._snapshots.append(
+                WindowSnapshot(start=self._window_start, end=end, values=values)
+            )
+        self._window_start = floor(now / width) * width
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    @property
+    def window_snapshots(self) -> Tuple[WindowSnapshot, ...]:
+        """Every closed, non-empty window so far, in time order."""
+        return tuple(self._snapshots)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Lifetime totals/levels for every instrument, by sorted name."""
+        return {
+            name: self._instrument_level(self._instruments[name])
+            for name in sorted(self._instruments)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(instruments={len(self._instruments)}, "
+            f"windows={len(self._snapshots)})"
+        )

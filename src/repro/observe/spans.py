@@ -1,0 +1,247 @@
+"""Per-query lifecycle spans (the causal-trace channel).
+
+A :class:`SpanRecorder` attached to a simulation captures one
+:class:`QuerySpan` per executed query: the exact probe order with
+per-probe outcome, RTT, retry counts, the link- vs query-cache origin of
+each target, how many pong entries each delivered probe harvested, and
+eviction causality (dead / refusal / defense-blocked).  This is the
+record the paper's aggregate curves cannot provide — diagnosing *why* a
+policy collapses (e.g. MRU's cache-poisoning spiral, Figs 16-21)
+requires knowing which probe evicted what and where the target came
+from.
+
+Determinism contract: recording is **append-only bookkeeping on objects
+the query loop already holds**.  The recorder never schedules events,
+never draws randomness, and never touches peer or cache state, so an
+attached recorder leaves the trace digest bit-identical to a run without
+one (asserted in ``tests/integration/test_determinism.py`` and the
+hypothesis property in ``tests/property/test_observe_invisibility.py``).
+
+Spans are held in a bounded ring (``capacity``); overflow drops the
+*oldest* span and is counted, never silent.  ``to_jsonl`` exports one
+JSON object per line for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import IO, Deque, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: ``ProbeRecord.origin`` values.
+ORIGIN_LINK = "link"
+ORIGIN_QUERY = "query"
+
+#: ``ProbeRecord.status`` values (``blocked`` = defense refused to probe).
+STATUS_DELIVERED = "delivered"
+STATUS_TIMEOUT = "timeout"
+STATUS_REFUSED = "refused"
+STATUS_BLOCKED = "blocked"
+
+#: ``ProbeRecord.eviction_cause`` values.
+EVICT_DEAD = "dead"
+EVICT_REFUSAL = "refusal"
+EVICT_BLOCKED = "blocked"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRecord:
+    """One probe (or defense block) inside a query span.
+
+    Attributes:
+        index: 0-based position in the query's probe order.
+        wave: which probe wave issued it (k-parallel probing).
+        time: virtual timestamp the probe went out at.
+        target: probed address.
+        origin: ``"link"`` if the target came from the querying peer's
+            link cache, ``"query"`` if it was harvested from a pong into
+            the per-query cache.
+        status: ``delivered`` / ``timeout`` / ``refused`` / ``blocked``
+            (blocked probes never reach the wire).
+        rtt: charged round-trip seconds (includes retry waiting).
+        retries: extra sends the retry policy made for this probe.
+        recovered: a retry resolved what first looked like a timeout.
+        spurious: the final timeout hit a live target (injected loss).
+        results: results the reply carried (delivered probes only).
+        pong_entries: entries in the piggybacked pong.
+        admitted: pong entries actually admitted to the candidate pool
+            (post defense filtering and query-cache dedup).
+        evicted: the probe caused a link-cache eviction of its target.
+        eviction_cause: ``dead`` / ``refusal`` / ``blocked`` or None.
+    """
+
+    index: int
+    wave: int
+    time: float
+    target: int
+    origin: str
+    status: str
+    rtt: float = 0.0
+    retries: int = 0
+    recovered: bool = False
+    spurious: bool = False
+    results: int = 0
+    pong_entries: int = 0
+    admitted: int = 0
+    evicted: bool = False
+    eviction_cause: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering."""
+        return asdict(self)
+
+
+class QuerySpan:
+    """The full lifecycle of one query, built probe by probe.
+
+    The query loop appends :class:`ProbeRecord` rows via
+    :meth:`record_probe`; the simulation seals the span with the final
+    :class:`~repro.core.search.QueryResult` via
+    :meth:`SpanRecorder.finish`.
+    """
+
+    __slots__ = (
+        "query_id",
+        "peer",
+        "target_file",
+        "start",
+        "probes",
+        "satisfied",
+        "results",
+        "duration",
+        "response_time",
+        "pool_exhausted",
+        "completed",
+    )
+
+    def __init__(
+        self, query_id: int, peer: int, target_file: int, start: float
+    ) -> None:
+        self.query_id = query_id
+        self.peer = peer
+        self.target_file = target_file
+        self.start = start
+        self.probes: List[ProbeRecord] = []
+        self.satisfied = False
+        self.results = 0
+        self.duration = 0.0
+        self.response_time: Optional[float] = None
+        self.pool_exhausted = False
+        self.completed = False
+
+    def record_probe(self, **fields) -> None:
+        """Append one probe record (``index`` is assigned here)."""
+        self.probes.append(ProbeRecord(index=len(self.probes), **fields))
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (one object per span)."""
+        return {
+            "query_id": self.query_id,
+            "peer": self.peer,
+            "target_file": self.target_file,
+            "start": self.start,
+            "satisfied": self.satisfied,
+            "results": self.results,
+            "duration": self.duration,
+            "response_time": self.response_time,
+            "pool_exhausted": self.pool_exhausted,
+            "completed": self.completed,
+            "probes": [probe.as_dict() for probe in self.probes],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuerySpan(id={self.query_id}, peer={self.peer}, "
+            f"probes={len(self.probes)}, satisfied={self.satisfied})"
+        )
+
+
+class SpanRecorder:
+    """Bounded ring of completed query spans.
+
+    Args:
+        capacity: maximum spans retained; the oldest span is dropped
+            (and counted in :attr:`dropped`) when the ring is full.
+            ``None`` retains everything.
+
+    Query ids are a plain monotonic counter — allocation draws no
+    randomness and is stable under identical event orders, so ids line
+    up across same-seed runs.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: Deque[QuerySpan] = deque(maxlen=capacity)
+        self._next_id = 0
+        self.started = 0
+        self.completed = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def begin(self, peer: int, target_file: int, time: float) -> QuerySpan:
+        """Open a span for a query issued by ``peer`` at ``time``."""
+        span = QuerySpan(
+            query_id=self._next_id,
+            peer=peer,
+            target_file=target_file,
+            start=time,
+        )
+        self._next_id += 1
+        self.started += 1
+        return span
+
+    def finish(self, span: QuerySpan, result) -> None:
+        """Seal ``span`` with its :class:`~repro.core.search.QueryResult`."""
+        span.satisfied = result.satisfied
+        span.results = result.results
+        span.duration = result.duration
+        span.response_time = result.response_time
+        span.pool_exhausted = result.pool_exhausted
+        span.completed = True
+        self.completed += 1
+        if self.capacity is not None and len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Access / export
+    # ------------------------------------------------------------------
+
+    @property
+    def spans(self) -> Tuple[QuerySpan, ...]:
+        """Retained spans, oldest first."""
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[QuerySpan]:
+        return iter(self._spans)
+
+    def to_jsonl(self, stream: IO[str]) -> int:
+        """Write one JSON object per retained span; returns span count."""
+        count = 0
+        for span in self._spans:
+            stream.write(json.dumps(span.as_dict(), sort_keys=True))
+            stream.write("\n")
+            count += 1
+        return count
+
+    def dump_jsonl(self, path) -> int:
+        """Write :meth:`to_jsonl` output to ``path``; returns span count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.to_jsonl(handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecorder(retained={len(self._spans)}, "
+            f"started={self.started}, dropped={self.dropped})"
+        )

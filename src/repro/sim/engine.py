@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-from typing import Any, Callable, Optional
+import time
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.profiler import Profiler
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventPriority
@@ -131,6 +135,12 @@ class Simulator:
         self._running = False
         self._events_executed = 0
         self._tracer: Optional[TraceHasher] = TraceHasher() if trace_hash else None
+        #: Optional :class:`~repro.observe.profiler.Profiler`; when set,
+        #: every ``run_until`` reports (events, wall seconds, simulated
+        #: seconds) to it.  The profiler only *reads* engine counters —
+        #: it can never influence scheduling, so attaching one leaves
+        #: the trace digest untouched.
+        self.profiler: Optional["Profiler"] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -281,6 +291,10 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run_until is not re-entrant")
         self._running = True
+        profiler = self.profiler
+        if profiler is not None:
+            wall_started = time.perf_counter()  # repro: allow-wallclock (profiling)
+            sim_started = self._now
         executed = 0
         try:
             while self._heap:
@@ -295,6 +309,12 @@ class Simulator:
         finally:
             self._running = False
         self._now = float(end_time)
+        if profiler is not None:
+            profiler.record_engine(
+                events=executed,
+                wall_seconds=time.perf_counter() - wall_started,  # repro: allow-wallclock
+                sim_seconds=self._now - sim_started,
+            )
         return executed
 
     def run_all(self, max_events: Optional[int] = None) -> int:

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.experiments.run_all import main
+from repro.observe.manifest import load_manifest, verify_manifest
 
 
 class TestMain:
@@ -12,6 +15,7 @@ class TestMain:
             "--profile", "smoke",
             "--only", "fig8",
             "--output", str(output),
+            "--no-manifest",
         ])
         assert code == 0
         text = output.read_text()
@@ -21,10 +25,11 @@ class TestMain:
         # Also printed to stdout.
         assert "fig8" in capsys.readouterr().out
 
-    def test_suite_flag_is_an_only_alias(self, capsys):
+    def test_suite_flag_is_an_only_alias(self, tmp_path, capsys):
         code = main([
             "--profile", "smoke",
             "--suite", "flexible_extent",
+            "--manifest", str(tmp_path / "manifest.json"),
         ])
         assert code == 0
         out = capsys.readouterr().out
@@ -38,3 +43,49 @@ class TestMain:
         except SystemExit:
             raised = True
         assert raised
+
+    def test_no_manifest_skips_writing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["--profile", "smoke", "--only", "fig8", "--no-manifest"])
+        assert code == 0
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_manifest_written_and_verifiable(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        argv = [
+            "--profile", "smoke",
+            "--only", "loss_satisfaction",
+            "--manifest", str(path),
+        ]
+        code = main(argv)
+        assert code == 0
+        assert f"manifest written to {path}" in capsys.readouterr().out
+
+        manifest = load_manifest(path)
+        assert manifest["profile"] == "smoke"
+        assert manifest["suites"] == ["packet_loss"]
+        # The exact re-launch command is recorded.
+        assert manifest["command"] == [
+            "python", "-m", "repro.experiments.run_all", *argv,
+        ]
+        assert manifest["configs"]
+        for entry in manifest["configs"]:
+            assert len(entry["trace_digests"]) == entry["trials"]
+            assert all(entry["trace_digests"])
+        # Acceptance check: the manifest reproduces bit for bit.
+        assert verify_manifest(manifest) == []
+        # And it is plain JSON all the way down.
+        assert json.loads(json.dumps(manifest)) == manifest
+
+    def test_profile_report_appended(self, tmp_path, capsys):
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--manifest", str(tmp_path / "manifest.json"),
+            "--profile-report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile report" in out
+        assert "events/s" in out
+        assert "flexible_extent" in out

@@ -16,10 +16,12 @@ from repro.experiments import (
     fairness,
     flexible_extent,
     malicious,
+    packet_loss,
     ping_interval,
     policy_comparison,
 )
 from repro.experiments.profiles import Profile
+from repro.observe.manifest import ManifestRecorder, activated
 
 MICRO = Profile(
     name="micro",
@@ -204,3 +206,66 @@ class TestMaliciousSuite:
             for points in result.series.values():
                 for _, entries in points:
                     assert entries >= 0.0
+
+
+class TestPacketLossSuite:
+    @pytest.fixture(scope="class")
+    def captured(self):
+        """Suite results plus the manifest its run records."""
+        recorder = ManifestRecorder()
+        with activated(recorder):
+            results = packet_loss.run_suite(MICRO)
+        manifest = recorder.build(
+            profile=MICRO.name,
+            suites=["packet_loss"],
+            workers=1,
+            wall_clock_seconds=0.0,
+        )
+        return results, manifest
+
+    @pytest.fixture(scope="class")
+    def results(self, captured):
+        return captured[0]
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == [
+            "loss_grid", "loss_satisfaction",
+        ]
+
+    def test_grid_complete(self, results):
+        rows = results[0].rows
+        assert len(rows) == len(packet_loss.LOSS_RATES) * len(
+            packet_loss.RETRY_BUDGETS
+        )
+        assert {(loss, retries) for loss, retries, *_ in rows} == {
+            (loss, retries)
+            for loss in packet_loss.LOSS_RATES
+            for retries in packet_loss.RETRY_BUDGETS
+        }
+
+    def test_grid_rates_valid(self, results):
+        for row in results[0].rows:
+            satisfied, recovery, live = row[2], row[7], row[8]
+            assert 0.0 <= satisfied <= 1.0
+            assert 0.0 <= recovery <= 1.0
+            assert 0.0 <= live <= 1.0
+
+    def test_satisfaction_series_per_budget(self, results):
+        series = results[1].series
+        assert set(series) == {
+            f"retries={r}" for r in packet_loss.RETRY_BUDGETS
+        }
+        for points in series.values():
+            assert [x for x, _ in points] == list(packet_loss.LOSS_RATES)
+
+    def test_manifest_covers_grid_and_round_trips(self, captured):
+        import json
+
+        _, manifest = captured
+        cells = len(packet_loss.LOSS_RATES) * len(packet_loss.RETRY_BUDGETS)
+        assert len(manifest["configs"]) == cells
+        for entry in manifest["configs"]:
+            assert entry["trials"] == MICRO.trials
+            assert all(digest for digest in entry["trace_digests"])
+        # The whole manifest survives a JSON round-trip untouched.
+        assert json.loads(json.dumps(manifest)) == manifest

@@ -1,0 +1,181 @@
+"""Tests for run manifests: capture, round-trips, replay, verification."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.experiments.runner import run_guess_config
+from repro.faults.plan import (
+    BrownoutSpec,
+    FaultPlan,
+    GilbertElliott,
+    PartitionWindow,
+)
+from repro.observe.manifest import (
+    MANIFEST_VERSION,
+    ManifestRecorder,
+    activated,
+    active_manifest_recorder,
+    faults_from_jsonable,
+    faults_to_jsonable,
+    load_manifest,
+    main,
+    protocol_from_jsonable,
+    protocol_to_jsonable,
+    replay_config,
+    system_from_jsonable,
+    system_to_jsonable,
+    verify_manifest,
+    write_manifest,
+)
+from repro.sim.rng import derive_seed
+
+#: Full-featured fault plan: every nested spec populated.
+RICH_FAULTS = FaultPlan(
+    loss_rate=0.05,
+    burst=GilbertElliott(
+        loss_good=0.01, loss_bad=0.4, p_good_to_bad=0.02, p_bad_to_good=0.3
+    ),
+    jitter=0.02,
+    brownouts=BrownoutSpec(rate=0.001, duration=30.0),
+    partitions=(
+        PartitionWindow(start=10.0, end=20.0, fraction=0.25, salt=3),
+        PartitionWindow(start=40.0, end=50.0),
+    ),
+)
+
+SMALL_SYSTEM = SystemParams(network_size=40)
+SMALL_KW = dict(duration=20.0, warmup=0.0, trials=2, base_seed=9)
+
+
+class TestParamRoundTrips:
+    def test_system_round_trips_with_enum(self):
+        system = SystemParams(
+            network_size=77,
+            percent_bad_peers=12.5,
+            bad_pong_behavior=BadPongBehavior.BAD,
+        )
+        data = json.loads(json.dumps(system_to_jsonable(system)))
+        assert system_from_jsonable(data) == system
+
+    def test_protocol_round_trips(self):
+        protocol = ProtocolParams(cache_size=17, probe_retries=2)
+        data = json.loads(json.dumps(protocol_to_jsonable(protocol)))
+        assert protocol_from_jsonable(data) == protocol
+
+    def test_faults_none_passthrough(self):
+        assert faults_to_jsonable(None) is None
+        assert faults_from_jsonable(None) is None
+
+    def test_rich_fault_plan_round_trips(self):
+        data = json.loads(json.dumps(faults_to_jsonable(RICH_FAULTS)))
+        assert faults_from_jsonable(data) == RICH_FAULTS
+
+
+class TestRecorderCapture:
+    def test_inactive_by_default(self):
+        assert active_manifest_recorder() is None
+
+    def test_run_guess_config_records_one_entry_with_digests(self):
+        recorder = ManifestRecorder()
+        with activated(recorder):
+            assert active_manifest_recorder() is recorder
+            reports = run_guess_config(
+                SMALL_SYSTEM, ProtocolParams(), **SMALL_KW
+            )
+        assert active_manifest_recorder() is None
+        (entry,) = recorder.configs
+        assert entry["trials"] == 2
+        assert entry["seeds"] == [
+            derive_seed(9, "trial:0"), derive_seed(9, "trial:1")
+        ]
+        # An active recorder forces trace hashing on every trial.
+        assert entry["trace_digests"] == [r.trace_digest for r in reports]
+        assert all(
+            isinstance(digest, str) for digest in entry["trace_digests"]
+        )
+
+    def test_untracked_run_records_nothing(self):
+        recorder = ManifestRecorder()
+        run_guess_config(SMALL_SYSTEM, ProtocolParams(), **SMALL_KW)
+        assert recorder.configs == []
+
+    def test_build_shape(self):
+        recorder = ManifestRecorder()
+        manifest = recorder.build(
+            profile="smoke",
+            suites=["packet_loss"],
+            workers=1,
+            wall_clock_seconds=1.5,
+            command=["python", "-m", "repro.experiments.run_all"],
+        )
+        from repro import __version__
+
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["package_version"] == __version__
+        assert manifest["profile"] == "smoke"
+        assert manifest["configs"] == []
+        assert manifest["command"][-1] == "repro.experiments.run_all"
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One tiny recorded run shared by the replay/verify tests."""
+    recorder = ManifestRecorder()
+    with activated(recorder):
+        run_guess_config(
+            SMALL_SYSTEM,
+            ProtocolParams(probe_retries=1),
+            faults=FaultPlan(loss_rate=0.05),
+            **SMALL_KW,
+        )
+    return recorder.build(
+        profile="micro", suites=["packet_loss"], workers=1,
+        wall_clock_seconds=0.0,
+    )
+
+
+class TestReplayAndVerify:
+    def test_write_load_round_trip(self, recorded, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_manifest(path, recorded)
+        assert load_manifest(path) == recorded
+        # And the manifest survives a plain JSON round-trip.
+        assert json.loads(json.dumps(recorded)) == recorded
+
+    def test_replay_reproduces_digests(self, recorded):
+        (entry,) = recorded["configs"]
+        assert replay_config(entry) == tuple(entry["trace_digests"])
+
+    def test_verify_ok(self, recorded):
+        assert verify_manifest(recorded) == []
+
+    def test_verify_flags_tampered_digest(self, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        tampered["configs"][0]["trace_digests"][0] = "0" * 32
+        problems = verify_manifest(tampered)
+        assert len(problems) == 1
+        assert "diverge" in problems[0]
+
+    def test_verify_flags_tampered_seed(self, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        tampered["configs"][0]["seeds"][0] += 1
+        problems = verify_manifest(tampered)
+        assert len(problems) == 1
+        assert "re-derive" in problems[0]
+
+    def test_cli_ok_and_failure(self, recorded, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        write_manifest(good, recorded)
+        assert main([str(good)]) == 0
+        assert "manifest OK" in capsys.readouterr().out
+
+        tampered = json.loads(json.dumps(recorded))
+        tampered["configs"][0]["trace_digests"][0] = "0" * 32
+        bad = tmp_path / "bad.json"
+        write_manifest(bad, tampered)
+        assert main([str(bad)]) == 1
+        assert "diverge" in capsys.readouterr().out

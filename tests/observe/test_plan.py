@@ -1,0 +1,66 @@
+"""Tests for ObservationPlan validation and the from_plan no-op contract."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.observe.plan import Observation, ObservationPlan
+from repro.observe.registry import MetricsRegistry
+from repro.observe.spans import SpanRecorder
+
+
+class TestObservationPlan:
+    def test_defaults_are_noop(self):
+        assert ObservationPlan().is_noop()
+
+    def test_any_observer_clears_noop(self):
+        assert not ObservationPlan(spans=True).is_noop()
+        assert not ObservationPlan(registry=True).is_noop()
+
+    def test_bad_span_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ObservationPlan(spans=True, span_capacity=0)
+
+    def test_bad_registry_window_rejected(self):
+        with pytest.raises(ConfigError):
+            ObservationPlan(registry=True, registry_window=-1.0)
+
+    def test_plan_is_picklable(self):
+        # Frozen + scalar fields: safe to ship across process boundaries.
+        plan = ObservationPlan(spans=True, registry=True, registry_window=5.0)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestFromPlan:
+    def test_none_plan_resolves_to_none(self):
+        assert Observation.from_plan(None) is None
+
+    def test_noop_plan_resolves_to_none(self):
+        assert Observation.from_plan(ObservationPlan()) is None
+
+    def test_spans_only(self):
+        observation = Observation.from_plan(
+            ObservationPlan(spans=True, span_capacity=8)
+        )
+        assert isinstance(observation.spans, SpanRecorder)
+        assert observation.spans.capacity == 8
+        assert observation.registry is None
+
+    def test_registry_only(self):
+        observation = Observation.from_plan(
+            ObservationPlan(registry=True, registry_window=25.0)
+        )
+        assert observation.spans is None
+        assert isinstance(observation.registry, MetricsRegistry)
+        assert observation.registry.window == 25.0
+
+    def test_both(self):
+        observation = Observation.from_plan(
+            ObservationPlan(spans=True, registry=True)
+        )
+        assert observation.spans is not None
+        assert observation.registry is not None
+        assert observation.registry.window is None

@@ -1,0 +1,137 @@
+"""Tests for phase-structured profiling and its host hooks."""
+
+from __future__ import annotations
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import ProtocolParams, SystemParams
+from repro.experiments.runner import run_guess_config
+from repro.observe.profiler import (
+    GLOBAL_PHASE,
+    Profiler,
+    activated,
+    active_profiler,
+)
+
+
+class TestPhases:
+    def test_phase_wall_time_accumulates(self):
+        profiler = Profiler()
+        with profiler.phase("a"):
+            pass
+        with profiler.phase("a"):
+            pass
+        assert profiler.phases == ["a"]
+        assert profiler._stats["a"].wall_seconds >= 0.0
+
+    def test_samples_attribute_to_current_phase(self):
+        profiler = Profiler()
+        with profiler.phase("suite"):
+            profiler.record_engine(events=100, wall_seconds=0.5, sim_seconds=10.0)
+            profiler.record_batch(4, 0.25)
+        profiler.record_engine(events=7, wall_seconds=0.1, sim_seconds=1.0)
+        assert profiler.phases == ["suite", GLOBAL_PHASE]
+        suite = profiler._stats["suite"]
+        assert suite.engine_events == 100
+        assert suite.batch_items == 4
+        assert suite.batches == 1
+        assert profiler._stats[GLOBAL_PHASE].engine_events == 7
+
+    def test_nested_phase_restores_previous(self):
+        profiler = Profiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                profiler.record_engine(
+                    events=1, wall_seconds=0.1, sim_seconds=1.0
+                )
+            profiler.record_engine(events=2, wall_seconds=0.1, sim_seconds=1.0)
+        assert profiler._stats["inner"].engine_events == 1
+        assert profiler._stats["outer"].engine_events == 2
+
+    def test_events_per_second(self):
+        profiler = Profiler()
+        profiler.record_engine(events=100, wall_seconds=0.5, sim_seconds=10.0)
+        assert profiler.events_per_second(GLOBAL_PHASE) == 200.0
+        assert profiler.events_per_second("missing") is None
+
+    def test_render_lists_phases(self):
+        profiler = Profiler()
+        with profiler.phase("alpha"):
+            profiler.record_engine(
+                events=50, wall_seconds=0.5, sim_seconds=25.0
+            )
+        with profiler.phase("beta"):
+            pass
+        text = profiler.render()
+        assert "profile report" in text
+        assert "alpha" in text
+        assert "beta" in text
+        assert "events/s" in text
+        # A phase without engine samples renders nan rates, not a crash.
+        assert "nan" in text
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_profiler() is None
+
+    def test_activated_installs_and_restores(self):
+        profiler = Profiler()
+        with activated(profiler) as installed:
+            assert installed is profiler
+            assert active_profiler() is profiler
+            inner = Profiler()
+            with activated(inner):
+                assert active_profiler() is inner
+            assert active_profiler() is profiler
+        assert active_profiler() is None
+
+
+class TestEngineHook:
+    def test_simulator_records_engine_samples(self):
+        profiler = Profiler()
+        sim = GuessSimulation(
+            SystemParams(network_size=40), ProtocolParams(), seed=3
+        )
+        sim.engine.profiler = profiler
+        sim.run(30.0)
+        stats = profiler._stats[GLOBAL_PHASE]
+        assert stats.engine_samples == 1
+        assert stats.engine_events > 0
+        assert stats.engine_sim == 30.0
+        assert stats.engine_wall > 0.0
+
+    def test_profiling_does_not_change_results(self):
+        def run(profiler):
+            sim = GuessSimulation(
+                SystemParams(network_size=40),
+                ProtocolParams(),
+                seed=3,
+                trace_hash=True,
+            )
+            if profiler is not None:
+                sim.engine.profiler = profiler
+            sim.run(30.0)
+            return sim.trace_digest, sim.report()
+
+        plain = run(None)
+        profiled = run(Profiler())
+        assert plain == profiled
+
+
+class TestExecutorHook:
+    def test_run_guess_config_records_batches_and_engine(self):
+        profiler = Profiler()
+        with activated(profiler):
+            reports = run_guess_config(
+                SystemParams(network_size=40),
+                ProtocolParams(),
+                duration=20.0,
+                warmup=0.0,
+                trials=2,
+            )
+        assert len(reports) == 2
+        stats = profiler._stats[GLOBAL_PHASE]
+        assert stats.batches == 1
+        assert stats.batch_items == 2
+        # Serial trials run in-process, so engine samples flow too.
+        assert stats.engine_samples == 2

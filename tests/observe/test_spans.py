@@ -1,0 +1,199 @@
+"""Unit + integration tests for query-span recording."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import ProtocolParams, SystemParams
+from repro.errors import ConfigError
+from repro.observe.plan import ObservationPlan
+from repro.observe.spans import (
+    ORIGIN_LINK,
+    ORIGIN_QUERY,
+    STATUS_BLOCKED,
+    STATUS_DELIVERED,
+    STATUS_REFUSED,
+    STATUS_TIMEOUT,
+    ProbeRecord,
+    QuerySpan,
+    SpanRecorder,
+)
+
+STATUSES = {STATUS_DELIVERED, STATUS_TIMEOUT, STATUS_REFUSED, STATUS_BLOCKED}
+ORIGINS = {ORIGIN_LINK, ORIGIN_QUERY}
+
+
+class _Result:
+    """Duck-typed stand-in for QueryResult in unit tests."""
+
+    def __init__(self):
+        self.satisfied = True
+        self.results = 3
+        self.duration = 1.25
+        self.response_time = 0.4
+        self.pool_exhausted = False
+
+
+def _finished_span(recorder, peer=1, time=10.0):
+    span = recorder.begin(peer, 42, time)
+    recorder.finish(span, _Result())
+    return span
+
+
+class TestQuerySpan:
+    def test_record_probe_assigns_contiguous_indices(self):
+        span = QuerySpan(query_id=0, peer=1, target_file=42, start=0.0)
+        for target in (7, 8):
+            span.record_probe(
+                wave=0,
+                time=0.0,
+                target=target,
+                origin=ORIGIN_LINK,
+                status=STATUS_DELIVERED,
+            )
+        assert [probe.index for probe in span.probes] == [0, 1]
+
+    def test_as_dict_includes_probes(self):
+        span = QuerySpan(query_id=3, peer=1, target_file=42, start=5.0)
+        span.record_probe(
+            wave=0, time=5.0, target=9, origin=ORIGIN_QUERY,
+            status=STATUS_TIMEOUT, rtt=0.2, evicted=True,
+            eviction_cause="dead",
+        )
+        data = span.as_dict()
+        assert data["query_id"] == 3
+        assert data["probes"][0]["eviction_cause"] == "dead"
+
+    def test_probe_record_as_dict(self):
+        record = ProbeRecord(
+            index=0, wave=1, time=2.0, target=5,
+            origin=ORIGIN_LINK, status=STATUS_REFUSED,
+        )
+        data = record.as_dict()
+        assert data["wave"] == 1
+        assert data["status"] == STATUS_REFUSED
+
+
+class TestSpanRecorder:
+    def test_ids_monotonic_and_counts_track(self):
+        recorder = SpanRecorder()
+        spans = [_finished_span(recorder) for _ in range(3)]
+        assert [span.query_id for span in spans] == [0, 1, 2]
+        assert recorder.started == recorder.completed == 3
+        assert recorder.dropped == 0
+        assert len(recorder) == 3
+        assert all(span.completed for span in recorder)
+
+    def test_finish_seals_from_result(self):
+        recorder = SpanRecorder()
+        span = _finished_span(recorder)
+        assert span.satisfied is True
+        assert span.results == 3
+        assert span.duration == 1.25
+        assert span.response_time == 0.4
+        assert span.pool_exhausted is False
+
+    def test_capacity_ring_drops_oldest_and_counts(self):
+        recorder = SpanRecorder(capacity=2)
+        for _ in range(3):
+            _finished_span(recorder)
+        assert len(recorder) == 2
+        assert recorder.dropped == 1
+        assert [span.query_id for span in recorder.spans] == [1, 2]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            SpanRecorder(capacity=0)
+
+    def test_jsonl_round_trips(self):
+        recorder = SpanRecorder()
+        span = _finished_span(recorder)
+        span.probes.append(
+            ProbeRecord(
+                index=0, wave=0, time=10.0, target=7,
+                origin=ORIGIN_LINK, status=STATUS_DELIVERED,
+                rtt=0.18, results=1, pong_entries=10, admitted=4,
+            )
+        )
+        stream = io.StringIO()
+        assert recorder.to_jsonl(stream) == 1
+        (line,) = stream.getvalue().splitlines()
+        decoded = json.loads(line)
+        assert decoded == span.as_dict()
+
+    def test_dump_jsonl_writes_file(self, tmp_path):
+        recorder = SpanRecorder()
+        _finished_span(recorder)
+        _finished_span(recorder)
+        path = tmp_path / "spans.jsonl"
+        assert recorder.dump_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["query_id"] for line in lines] == [0, 1]
+
+
+class TestRecorderOnSimulation:
+    """Spans captured from a real (tiny) GUESS run are well-formed."""
+
+    @pytest.fixture(scope="class")
+    def sim(self):
+        sim = GuessSimulation(
+            SystemParams(network_size=50),
+            ProtocolParams(cache_size=10),
+            seed=5,
+            observe=ObservationPlan(spans=True),
+        )
+        sim.run(60.0)
+        return sim
+
+    def test_every_query_has_a_sealed_span(self, sim):
+        recorder = sim.span_recorder
+        assert recorder is not None
+        assert len(recorder) > 0
+        assert recorder.started == recorder.completed == len(recorder)
+        assert recorder.completed == sim.report().queries
+
+    def test_probe_records_well_formed(self, sim):
+        for span in sim.span_recorder:
+            assert span.completed
+            times = [probe.time for probe in span.probes]
+            assert times == sorted(times)
+            for probe in span.probes:
+                assert probe.index == span.probes.index(probe)
+                assert probe.status in STATUSES
+                assert probe.origin in ORIGINS
+                assert probe.wave >= 0
+                assert probe.rtt >= 0.0
+                if probe.status == STATUS_DELIVERED:
+                    assert probe.pong_entries >= probe.admitted >= 0
+                if probe.evicted:
+                    assert probe.eviction_cause is not None
+
+    def test_first_wave_probes_come_from_link_cache(self, sim):
+        # Wave 0 targets are drawn before any pong could be harvested.
+        for span in sim.span_recorder:
+            for probe in span.probes:
+                if probe.wave == 0:
+                    assert probe.origin == ORIGIN_LINK
+
+    def test_satisfied_spans_carry_results(self, sim):
+        satisfied = [span for span in sim.span_recorder if span.satisfied]
+        assert satisfied  # a healthy small network satisfies something
+        for span in satisfied:
+            assert span.results > 0
+            assert span.response_time is not None
+
+    def test_capacity_bounds_retention_on_simulation(self):
+        sim = GuessSimulation(
+            SystemParams(network_size=50),
+            ProtocolParams(cache_size=10),
+            seed=5,
+            observe=ObservationPlan(spans=True, span_capacity=5),
+        )
+        sim.run(60.0)
+        recorder = sim.span_recorder
+        assert len(recorder) == 5
+        assert recorder.dropped == recorder.completed - 5

@@ -1,0 +1,85 @@
+"""Property: observation never perturbs the simulation.
+
+For random small configurations, a run with the full observability
+bundle attached (span recorder + shared metrics registry, windowed)
+produces the *bit-identical* trace digest — and an equal report — to a
+run without any observers.  This is the dynamic, randomized counterpart
+of the pinned-digest checks in
+``tests/integration/test_determinism.py::TestObservationInvisibility``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.network_sim import GuessSimulation
+from repro.core.params import ProtocolParams, SystemParams
+from repro.faults.plan import FaultPlan
+from repro.observe.plan import ObservationPlan
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+cache_sizes = st.sampled_from([5, 10, 30])
+retries = st.sampled_from([0, 2])
+loss_rates = st.sampled_from([0.0, 0.1])
+capacities = st.sampled_from([None, 7])
+windows = st.sampled_from([None, 20.0])
+
+
+def _run(seed, cache_size, probe_retries, loss, observe):
+    sim = GuessSimulation(
+        SystemParams(network_size=40),
+        ProtocolParams(cache_size=cache_size, probe_retries=probe_retries),
+        seed=seed,
+        faults=FaultPlan(loss_rate=loss) if loss else None,
+        trace_hash=True,
+        observe=observe,
+    )
+    sim.run(80.0)
+    return sim.trace_digest, sim.report()
+
+
+@given(
+    seed=seeds,
+    cache_size=cache_sizes,
+    probe_retries=retries,
+    loss=loss_rates,
+    capacity=capacities,
+    window=windows,
+)
+@settings(max_examples=8, deadline=None)
+def test_observation_is_invisible_to_trace_digests(
+    seed, cache_size, probe_retries, loss, capacity, window
+):
+    plan = ObservationPlan(
+        spans=True,
+        span_capacity=capacity,
+        registry=True,
+        registry_window=window,
+    )
+    plain_digest, plain_report = _run(
+        seed, cache_size, probe_retries, loss, None
+    )
+    observed_digest, observed_report = _run(
+        seed, cache_size, probe_retries, loss, plan
+    )
+    assert observed_digest == plain_digest
+    assert observed_report == plain_report
+
+
+@given(seed=seeds)
+@settings(max_examples=4, deadline=None)
+def test_observers_actually_observe(seed):
+    """Guard against a vacuous pass: the attached observers see traffic."""
+    _, report = _run(seed, 10, 0, 0.0, None)
+    sim = GuessSimulation(
+        SystemParams(network_size=40),
+        ProtocolParams(cache_size=10),
+        seed=seed,
+        observe=ObservationPlan(spans=True, registry=True),
+    )
+    sim.run(80.0)
+    assert sim.span_recorder.completed == report.queries
+    totals = sim.metrics_registry.snapshot()
+    assert totals["sim.queries"] == report.queries
+    assert totals["transport.probes_sent"] == report.transport_probes_sent

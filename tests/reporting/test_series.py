@@ -1,0 +1,63 @@
+"""Edge cases for series rendering beyond the basic-layout tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.series import format_series_block
+
+
+class TestEdgeCases:
+    def test_single_point_series(self):
+        text = format_series_block({"only": [(2.0, 0.5)]}, x_label="x")
+        lines = text.splitlines()
+        # header + one data row, framed by three rules.
+        assert sum(line.startswith("+-") for line in lines) == 3
+        assert sum(line.startswith("| ") for line in lines) == 2
+        assert "0.5000" in text
+
+    def test_fully_disjoint_x_supports(self):
+        text = format_series_block(
+            {"a": [(1.0, 10.0)], "b": [(2.0, 20.0)]}, x_label="x"
+        )
+        rows = [line for line in text.splitlines() if line.startswith("| ")]
+        header, row_x1, row_x2 = rows
+        # Each series only populates its own row; the other is dashed.
+        assert row_x1.split("|")[2].strip() == "10"
+        assert row_x1.split("|")[3].strip() == "-"
+        assert row_x2.split("|")[2].strip() == "-"
+        assert row_x2.split("|")[3].strip() == "20"
+
+    def test_disjoint_supports_union_sorted(self):
+        text = format_series_block(
+            {"a": [(5.0, 1.0), (1.0, 1.0)], "b": [(3.0, 2.0)]}, x_label="x"
+        )
+        rows = [line for line in text.splitlines() if line.startswith("| ")]
+        xs = [row.split("|")[1].strip() for row in rows[1:]]
+        assert xs == ["1", "3", "5"]
+
+    def test_series_with_no_points_yields_headers_only(self):
+        # A named series with an empty point list is not an error; it
+        # contributes a column and no rows.
+        text = format_series_block({"empty": []}, x_label="x")
+        lines = text.splitlines()
+        assert sum(line.startswith("| ") for line in lines) == 1  # header
+        assert "empty" in lines[1]
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_block({}, x_label="x")
+
+    def test_title_propagates(self):
+        text = format_series_block(
+            {"a": [(1.0, 2.0)]}, x_label="x", title="fig999"
+        )
+        assert text.splitlines()[0] == "fig999"
+
+    def test_duplicate_x_last_value_wins(self):
+        text = format_series_block(
+            {"a": [(1.0, 3.0), (1.0, 4.0)]}, x_label="x"
+        )
+        rows = [line for line in text.splitlines() if line.startswith("| ")]
+        assert len(rows) == 2  # header + one collapsed row
+        assert rows[1].split("|")[2].strip() == "4"

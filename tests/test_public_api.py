@@ -50,6 +50,8 @@ class TestSubpackageImports:
             "repro.reporting",
             "repro.extensions",
             "repro.analysis",
+            "repro.observe",
+            "repro.faults",
         ],
     )
     def test_subpackage_all_resolves(self, module):
