@@ -41,10 +41,12 @@ from repro.core import (
 )
 from repro.errors import (
     ConfigError,
+    ExecutionError,
     PolicyError,
     ReproError,
     SimulationError,
     TopologyError,
+    TrialFailure,
     WorkloadError,
 )
 from repro.faults import FaultPlan, RetryPolicy
@@ -73,10 +75,12 @@ __all__ = [
     "ObservationPlan",
     "SpanRecorder",
     "ConfigError",
+    "ExecutionError",
     "PolicyError",
     "ReproError",
     "SimulationError",
     "TopologyError",
+    "TrialFailure",
     "WorkloadError",
     "LoadDistribution",
     "MetricsCollector",

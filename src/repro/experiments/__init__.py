@@ -20,6 +20,7 @@ Run everything via ``python -m repro.experiments.run_all --profile quick``.
 """
 
 from repro.experiments.executor import (
+    ChaosSpec,
     ProcessTrialExecutor,
     SerialTrialExecutor,
     TrialExecutor,
@@ -28,6 +29,12 @@ from repro.experiments.executor import (
 )
 from repro.experiments.profiles import PROFILES, Profile
 from repro.experiments.runner import ExperimentResult, run_guess_config
+from repro.experiments.supervisor import (
+    SupervisedTrialExecutor,
+    SweepInterrupted,
+    TrialJournal,
+    trial_fingerprint,
+)
 
 __all__ = [
     "PROFILES",
@@ -36,7 +43,12 @@ __all__ = [
     "run_guess_config",
     "TrialExecutor",
     "TrialSpec",
+    "ChaosSpec",
     "SerialTrialExecutor",
     "ProcessTrialExecutor",
+    "SupervisedTrialExecutor",
+    "SweepInterrupted",
+    "TrialJournal",
+    "trial_fingerprint",
     "get_executor",
 ]

@@ -411,20 +411,29 @@ def run_intro_prob_ablation(
     )
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
     """All seven ablations.
 
     The adaptive-search, detection, and selfish ablations instrument live
     simulation objects (mutate hooks / bespoke drivers), so they always
-    run in-process; the other four fan their trials out over ``workers``.
+    run in-process; the other four fan their trials out over ``workers``
+    — or over an explicit ``executor`` (e.g. the supervised executor
+    shared by ``run_all --supervise``), which overrides ``workers`` and
+    stays open for the caller to close.
     """
-    with get_executor(workers) as executor:
-        return [
-            run_parallel_ablation(profile, executor),
-            run_backoff_ablation(profile, executor),
-            run_adaptive_search_ablation(profile),
-            run_detection_ablation(profile),
-            run_selfish_ablation(profile),
-            run_pong_size_ablation(profile, executor),
-            run_intro_prob_ablation(profile, executor),
-        ]
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    return [
+        run_parallel_ablation(profile, executor),
+        run_backoff_ablation(profile, executor),
+        run_adaptive_search_ablation(profile),
+        run_detection_ablation(profile),
+        run_selfish_ablation(profile),
+        run_pong_size_ablation(profile, executor),
+        run_intro_prob_ablation(profile, executor),
+    ]

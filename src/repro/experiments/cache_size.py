@@ -181,10 +181,21 @@ def run_fig5(
     )
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """Table 3 + Figures 3-5 from a single shared sweep."""
-    with get_executor(workers) as executor:
-        sweep = sweep_cache_sizes(profile, executor=executor)
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """Table 3 + Figures 3-5 from a single shared sweep.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    sweep = sweep_cache_sizes(profile, executor=executor)
     reference_only = {
         key: value
         for key, value in sweep.items()

@@ -122,8 +122,19 @@ def run_fig15(
     )
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """Figures 14 and 15 from one shared sweep."""
-    with get_executor(workers) as executor:
-        sweep = sweep_capacity(profile, executor=executor)
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """Figures 14 and 15 from one shared sweep.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    sweep = sweep_capacity(profile, executor=executor)
     return [run_fig14(profile, sweep), run_fig15(profile, sweep)]

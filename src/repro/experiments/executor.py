@@ -37,10 +37,76 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
-from repro.errors import ConfigError
+from repro.errors import ChaosError, ConfigError
 from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 from repro.observe.profiler import active_profiler
+
+#: Chaos failure modes understood by :func:`execute_trial`.
+CHAOS_MODES = ("raise", "exit", "hang")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic crash injection carried on a :class:`TrialSpec`.
+
+    The hook fires in :func:`execute_trial` *before* the simulation is
+    constructed, so an attempt that survives chaos produces a report
+    byte-identical to one that never carried chaos at all — which is how
+    the supervisor's retry path stays inside the determinism contract.
+
+    Attributes:
+        mode: ``"raise"`` (raise :class:`~repro.errors.ChaosError`),
+            ``"exit"`` (``os._exit`` — kills the worker process and
+            breaks a process pool), or ``"hang"`` (sleep past any
+            watchdog deadline).
+        times: sabotage only the first ``times`` attempts, then run
+            clean; ``None`` sabotages every attempt (the quarantine
+            path).  Attempt counting crosses process boundaries via a
+            marker file, so ``times`` requires ``marker_dir``.
+        marker_dir: directory for the attempt-count marker file.
+        key: marker-file stem; must be unique per sabotaged trial.
+        hang_seconds: sleep length for ``"hang"`` mode.
+    """
+
+    mode: str
+    times: Optional[int] = None
+    marker_dir: Optional[str] = None
+    key: str = "chaos"
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHAOS_MODES:
+            raise ConfigError(
+                f"chaos mode must be one of {CHAOS_MODES}, got {self.mode!r}"
+            )
+        if self.times is not None and self.marker_dir is None:
+            raise ConfigError(
+                "bounded chaos (times=N) needs marker_dir to count "
+                "attempts across worker processes"
+            )
+
+
+def _apply_chaos(chaos: ChaosSpec) -> None:
+    """Fire the chaos failure mode unless its sabotage budget is spent."""
+    if chaos.times is not None:
+        path = os.path.join(chaos.marker_dir, f"{chaos.key}.attempts")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                spent = int(handle.read().strip() or 0)
+        except (FileNotFoundError, ValueError):
+            spent = 0
+        if spent >= chaos.times:
+            return
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(str(spent + 1))
+    if chaos.mode == "raise":
+        raise ChaosError(f"injected failure (key={chaos.key})")
+    if chaos.mode == "exit":
+        os._exit(23)
+    # "hang": sleep far past any reasonable deadline.  The watchdog is
+    # expected to kill this worker long before the sleep returns.
+    time.sleep(chaos.hang_seconds)  # repro: allow-wallclock (chaos hook)
 
 
 @dataclass(frozen=True)
@@ -57,6 +123,9 @@ class TrialSpec:
         faults: optional fault plan (frozen, hence picklable); ``None``
             or an all-zeros plan runs the fault-free code path.
         trace_hash: enable the engine's determinism sanitizer.
+        chaos: optional crash injection (:class:`ChaosSpec`); fires in
+            :func:`execute_trial` before the simulation exists, so a
+            surviving attempt's report is untouched by it.
     """
 
     system: SystemParams
@@ -68,10 +137,13 @@ class TrialSpec:
     health_sample_interval: Optional[float] = 60.0
     faults: Optional[FaultPlan] = None
     trace_hash: bool = False
+    chaos: Optional[ChaosSpec] = None
 
 
 def execute_trial(spec: TrialSpec) -> SimulationReport:
     """Run one trial to completion (module-level, hence process-picklable)."""
+    if spec.chaos is not None:
+        _apply_chaos(spec.chaos)
     sim = GuessSimulation(
         spec.system,
         spec.protocol,
@@ -177,6 +249,26 @@ class ProcessTrialExecutor(TrialExecutor):
         self.workers = int(resolved)
         self._pool: Optional[ProcessPoolExecutor] = None
 
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The live pool, spawning (or respawning after discard) lazily."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Retire the current pool (broken or poisoned) without raising.
+
+        The next batch respawns a fresh pool via :meth:`_ensure_pool`;
+        pending work is cancelled — nothing keeps running unobserved.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # a broken pool may refuse even a shutdown
+            pass
+
     def map(
         self,
         fn: Callable[[_Item], Any],
@@ -192,22 +284,35 @@ class ProcessTrialExecutor(TrialExecutor):
             elapsed = time.perf_counter() - started  # repro: allow-wallclock
             profiler.record_batch(len(items), elapsed)
             return results
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = self._ensure_pool()
         # Executor.map preserves input order regardless of which worker
-        # finishes first — the trial-order-stability guarantee.
-        if profiler is None:
-            return list(self._pool.map(fn, items))
-        started = time.perf_counter()  # repro: allow-wallclock (profiling)
-        results = list(self._pool.map(fn, items))
-        elapsed = time.perf_counter() - started  # repro: allow-wallclock
-        profiler.record_batch(len(items), elapsed)
-        return results
+        # finishes first — the trial-order-stability guarantee.  Any
+        # exception escaping the batch (a worker raising, or the pool
+        # breaking outright) retires the pool: a BrokenProcessPool
+        # would otherwise leave self._pool permanently unusable, and a
+        # mid-iteration error would leave queued work running with no
+        # one reading the results.
+        try:
+            if profiler is None:
+                return list(pool.map(fn, items))
+            started = time.perf_counter()  # repro: allow-wallclock (profiling)
+            results = list(pool.map(fn, items))
+            elapsed = time.perf_counter() - started  # repro: allow-wallclock
+            profiler.record_batch(len(items), elapsed)
+            return results
+        except BaseException:
+            self._discard_pool()
+            raise
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the pool down; safe to call repeatedly or on a dead pool."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=True)
+        except Exception:  # already-broken pools shut down best-effort
+            pass
 
 
 def get_executor(workers: Optional[int]) -> TrialExecutor:

@@ -118,7 +118,18 @@ def run_fig8(
     )
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """Figure 8."""
-    with get_executor(workers) as executor:
-        return [run_fig8(profile, executor)]
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """Figure 8.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    return [run_fig8(profile, executor)]

@@ -155,9 +155,20 @@ def run_fig19_21(
     return _three_figures(sweep, ("fig19", "fig20", "fig21"), collusion=True)
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """Figures 16-21."""
-    with get_executor(workers) as executor:
-        return run_fig16_18(profile, executor=executor) + run_fig19_21(
-            profile, executor=executor
-        )
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """Figures 16-21.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    return run_fig16_18(profile, executor=executor) + run_fig19_21(
+        profile, executor=executor
+    )

@@ -167,10 +167,21 @@ def run_loss_grid(
     return [grid, satisfaction]
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """``loss_grid`` and ``loss_satisfaction``."""
-    with get_executor(workers) as executor:
-        return run_loss_grid(profile, executor)
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """``loss_grid`` and ``loss_satisfaction``.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    return run_loss_grid(profile, executor)
 
 
 def _render(results: List[ExperimentResult]) -> str:

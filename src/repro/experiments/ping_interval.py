@@ -170,7 +170,18 @@ def run_fig7(
     )
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """Figures 6 and 7."""
-    with get_executor(workers) as executor:
-        return [run_fig6(profile, executor), run_fig7(profile, executor)]
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """Figures 6 and 7.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    return [run_fig6(profile, executor), run_fig7(profile, executor)]

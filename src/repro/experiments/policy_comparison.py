@@ -158,13 +158,24 @@ def run_fig11(
     )
 
 
-def run_suite(profile: Profile, workers: int = 1) -> List[ExperimentResult]:
-    """Figures 9, 10, 11, 12."""
-    with get_executor(workers) as executor:
-        fig10, fig12 = run_fig10_12(profile, executor)
-        return [
-            run_fig9(profile, executor),
-            fig10,
-            run_fig11(profile, executor),
-            fig12,
-        ]
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+) -> List[ExperimentResult]:
+    """Figures 9, 10, 11, 12.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned)
+    fig10, fig12 = run_fig10_12(profile, executor)
+    return [
+        run_fig9(profile, executor),
+        fig10,
+        run_fig11(profile, executor),
+        fig12,
+    ]

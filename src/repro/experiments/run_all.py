@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments.run_all --profile quick
     python -m repro.experiments.run_all --profile smoke --only fig8 fig13
     python -m repro.experiments.run_all --suite packet_loss --workers 2
+    python -m repro.experiments.run_all --workers 2 --supervise
+    python -m repro.experiments.run_all --workers 2 --resume supervise.d
     repro-experiments --profile full --output results.txt
 
 ``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``,
@@ -12,15 +14,29 @@ Usage::
 ``ping_interval``, ``flexible_extent``, ``policy_comparison``,
 ``fairness``, ``capacity``, ``malicious``, ``ablations``,
 ``packet_loss``); ``--suite`` is an alias accepting the same tokens.
+
+``--supervise`` runs every trial under
+:class:`~repro.experiments.supervisor.SupervisedTrialExecutor`:
+crashed/hung workers are retried (``--max-attempts``, ``--trial-timeout``),
+trials that fail every attempt are quarantined instead of aborting the
+sweep, each completed trial is checkpointed to
+``<checkpoint dir>/trials.journal.jsonl`` as it finishes, and SIGINT
+drains in-flight trials, flushes partial outputs plus a partial
+manifest, and exits 130.  ``--resume DIR`` (implies ``--supervise``)
+verifies the journal against the partial manifest and re-runs only
+missing/failed trials — the resumed output is byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 import time
 from contextlib import ExitStack, nullcontext
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ablations,
@@ -35,8 +51,16 @@ from repro.experiments import (
 )
 from repro.experiments.profiles import PROFILES, get_profile
 from repro.experiments.runner import ExperimentResult
+from repro.experiments.supervisor import (
+    JOURNAL_FILENAME,
+    PARTIAL_MANIFEST_FILENAME,
+    SupervisedTrialExecutor,
+    SweepInterrupted,
+    verify_journal_against_manifest,
+)
 from repro.observe.manifest import (
     ManifestRecorder,
+    load_manifest,
     write_manifest,
 )
 from repro.observe.manifest import activated as manifest_activated
@@ -82,6 +106,11 @@ EXPERIMENT_SUITE: Dict[str, str] = {
     "loss_satisfaction": "packet_loss",
 }
 
+#: Exit codes beyond 0/1: quarantines happened (sweep completed but some
+#: trials failed every retry) and interrupted-but-resumable.
+EXIT_QUARANTINED = 3
+EXIT_INTERRUPTED = 130
+
 
 def resolve_suites(only: List[str] | None) -> List[str]:
     """Map ``--only`` tokens (ids or suite names) to a suite list.
@@ -105,8 +134,8 @@ def resolve_suites(only: List[str] | None) -> List[str]:
     return picked
 
 
-def main(argv: List[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (shared with tests)."""
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
     )
@@ -148,6 +177,55 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "run trials under the supervisor: retry crashed/hung workers, "
+            "quarantine trials that fail every attempt, checkpoint each "
+            "completed trial to the journal, and drain gracefully on "
+            "SIGINT (results stay byte-identical to an unsupervised run)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume an interrupted --supervise run from its checkpoint "
+            "directory: verify the journal against the partial manifest, "
+            "re-run only missing/failed trials (implies --supervise)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default="supervise.d",
+        metavar="DIR",
+        help=(
+            "where --supervise keeps its journal and partial manifest "
+            "(default: supervise.d; ignored when --resume names a dir)"
+        ),
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "supervised watchdog: kill and retry any trial attempt that "
+            "produces no result within SECONDS (default: no watchdog)"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "supervised retry budget: failed attempts tolerated per "
+            "trial before it is quarantined (default: 3)"
+        ),
+    )
+    parser.add_argument(
         "--profile-report",
         action="store_true",
         help=(
@@ -171,13 +249,55 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="skip writing the manifest (also skips per-trial trace hashing)",
     )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.max_attempts < 1:
+        parser.error(f"--max-attempts must be >= 1, got {args.max_attempts}")
 
     profile = get_profile(args.profile)
     tokens = (args.only or []) + (args.suite or [])
     suites = resolve_suites(tokens or None)
+
+    supervise = args.supervise or args.resume is not None
+    checkpoint_dir = args.resume or args.checkpoint_dir
+    supervised: Optional[SupervisedTrialExecutor] = None
+    if supervise:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        resuming = args.resume is not None
+        supervised = SupervisedTrialExecutor(
+            workers=args.workers,
+            trial_timeout=args.trial_timeout,
+            max_attempts=args.max_attempts,
+            journal=os.path.join(checkpoint_dir, JOURNAL_FILENAME),
+            resume=resuming,
+        )
+        if resuming:
+            partial = os.path.join(checkpoint_dir, PARTIAL_MANIFEST_FILENAME)
+            if os.path.exists(partial):
+                problems = verify_journal_against_manifest(
+                    supervised.journal, load_manifest(partial)
+                )
+                if problems:
+                    for problem in problems:
+                        print(problem, file=sys.stderr)
+                    print(
+                        "refusing to resume: journal contradicts the "
+                        "partial manifest",
+                        file=sys.stderr,
+                    )
+                    supervised.close()
+                    return 2
+            print(
+                f"resuming from {checkpoint_dir}: "
+                f"{len(supervised.journal)} trial(s) already journaled"
+            )
 
     blocks: List[str] = [
         f"GUESS reproduction — profile={profile.name} "
@@ -187,23 +307,57 @@ def main(argv: List[str] | None = None) -> int:
     recorder = None if args.no_manifest else ManifestRecorder()
     profiler = Profiler() if args.profile_report else None
     timings: List[tuple] = []
+    interrupted = False
     started = time.time()  # repro: allow-wallclock (reporting-only timing)
     with ExitStack() as stack:
         if recorder is not None:
             stack.enter_context(manifest_activated(recorder))
         if profiler is not None:
             stack.enter_context(profiler_activated(profiler))
+        if supervised is not None:
+            stack.callback(supervised.close)
+            # Graceful SIGINT: first ^C drains in-flight trials (each is
+            # journaled as it lands) and flushes partial outputs; a
+            # second ^C aborts hard through the default KeyboardInterrupt
+            # path.  Restored on exit from the stack.
+            previous = signal.getsignal(signal.SIGINT)
+
+            def _on_sigint(signum, frame):
+                if supervised.stop_requested:
+                    raise KeyboardInterrupt
+                supervised.request_stop()
+                print(
+                    "\nSIGINT: draining in-flight trials, flushing the "
+                    "journal (^C again to abort hard)",
+                    file=sys.stderr,
+                )
+
+            signal.signal(signal.SIGINT, _on_sigint)
+            stack.callback(signal.signal, signal.SIGINT, previous)
         for suite_name in suites:
+            if supervised is not None and supervised.stop_requested:
+                interrupted = True
+                break
             suite_started = time.time()  # repro: allow-wallclock
             phase = (
                 profiler.phase(suite_name)
                 if profiler is not None
                 else nullcontext()
             )
-            with phase:
-                results: List[ExperimentResult] = SUITES[suite_name](
-                    profile, workers=args.workers
+            try:
+                with phase:
+                    results: List[ExperimentResult] = SUITES[suite_name](
+                        profile, workers=args.workers, executor=supervised
+                    )
+            except SweepInterrupted:
+                interrupted = True
+                elapsed = time.time() - suite_started  # repro: allow-wallclock
+                timings.append((suite_name, elapsed))
+                blocks.append(
+                    f"-- suite {suite_name} interrupted after "
+                    f"{elapsed:.1f}s (completed trials journaled) --"
                 )
+                break
             elapsed = time.time() - suite_started  # repro: allow-wallclock
             timings.append((suite_name, elapsed))
             blocks.append(f"-- suite {suite_name} ({elapsed:.1f}s) --")
@@ -220,6 +374,17 @@ def main(argv: List[str] | None = None) -> int:
     blocks.append("\n".join(summary))
     if profiler is not None:
         blocks.append(profiler.render())
+    if supervised is not None and supervised.failures:
+        quarantine = ["-- quarantined trials --"]
+        quarantine.extend(str(failure) for failure in supervised.failures)
+        quarantine.append("(quarantined trials are re-run on --resume)")
+        blocks.append("\n".join(quarantine))
+    if interrupted:
+        blocks.append(
+            "** interrupted — resume with: python -m "
+            f"repro.experiments.run_all --resume {checkpoint_dir} "
+            "(plus your original flags) **"
+        )
 
     text = "\n\n".join(blocks)
     print(text)
@@ -235,8 +400,17 @@ def main(argv: List[str] | None = None) -> int:
             command=["python", "-m", "repro.experiments.run_all"]
             + list(argv if argv is not None else sys.argv[1:]),
         )
-        write_manifest(args.manifest, manifest)
-        print(f"manifest written to {args.manifest}")
+        if interrupted:
+            partial = os.path.join(checkpoint_dir, PARTIAL_MANIFEST_FILENAME)
+            write_manifest(partial, manifest)
+            print(f"partial manifest written to {partial}")
+        else:
+            write_manifest(args.manifest, manifest)
+            print(f"manifest written to {args.manifest}")
+    if interrupted:
+        return EXIT_INTERRUPTED
+    if supervised is not None and supervised.failures:
+        return EXIT_QUARANTINED
     return 0
 
 

@@ -16,11 +16,17 @@ serial output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
-from repro.experiments.executor import TrialExecutor, TrialSpec, get_executor
+from repro.errors import TrialFailure
+from repro.experiments.executor import (
+    ChaosSpec,
+    TrialExecutor,
+    TrialSpec,
+    get_executor,
+)
 from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 from repro.metrics.summary import mean
@@ -83,6 +89,7 @@ def run_guess_config(
     workers: int = 1,
     executor: Optional[TrialExecutor] = None,
     trace_hash: bool = False,
+    chaos: Optional[Mapping[int, ChaosSpec]] = None,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
 
@@ -111,9 +118,16 @@ def run_guess_config(
             manifest recorder is active, so every recorded configuration
             carries per-trial digests that :func:`replay_config` can
             verify bit for bit.
+        chaos: optional ``{trial index: ChaosSpec}`` crash injection for
+            supervisor drills — the chosen trials sabotage themselves in
+            the worker before their simulation is built.  Ignored on the
+            ``mutate`` path (which runs in-process, where an injected
+            ``os._exit`` would kill the parent).
 
     Returns:
-        One report per trial, in trial order.
+        One report per trial, in trial order.  Under a supervised
+        executor a trial that exhausted every retry is represented by a
+        :class:`~repro.errors.TrialFailure` in its slot.
     """
     recorder = active_manifest_recorder()
     capture = trace_hash or recorder is not None
@@ -128,6 +142,7 @@ def run_guess_config(
             health_sample_interval=health_sample_interval,
             faults=faults,
             trace_hash=capture,
+            chaos=chaos.get(trial) if chaos is not None else None,
         )
         for trial in range(trials)
     ]
@@ -162,6 +177,7 @@ def run_guess_config(
             trials=trials,
             base_seed=base_seed,
             health_sample_interval=health_sample_interval,
+            keep_queries=keep_queries,
             seeds=[spec.seed for spec in specs],
             digests=[report.trace_digest for report in reports],
         )
@@ -171,5 +187,15 @@ def run_guess_config(
 def averaged(
     reports: Sequence[SimulationReport], metric: str
 ) -> float:
-    """Mean of a report property (by name) across trials."""
-    return mean([getattr(report, metric) for report in reports])
+    """Mean of a report property (by name) across trials.
+
+    Quarantined trials (:class:`~repro.errors.TrialFailure` slots left
+    by supervised execution) are excluded: the mean is over the trials
+    that produced reports, so one failed trial degrades a cell's sample
+    size instead of aborting the sweep.
+    """
+    return mean([
+        getattr(report, metric)
+        for report in reports
+        if not isinstance(report, TrialFailure)
+    ])

@@ -119,6 +119,7 @@ class ManifestRecorder:
         health_sample_interval: Optional[float],
         seeds: Sequence[int],
         digests: Sequence[Optional[str]],
+        keep_queries: bool = False,
     ) -> None:
         """Append one executed configuration with its seeds and digests."""
         self.configs.append({
@@ -130,6 +131,7 @@ class ManifestRecorder:
             "trials": trials,
             "base_seed": base_seed,
             "health_sample_interval": health_sample_interval,
+            "keep_queries": keep_queries,
             "seeds": list(seeds),
             "trace_digests": list(digests),
         })
@@ -199,6 +201,38 @@ def load_manifest(path) -> dict:
 # ----------------------------------------------------------------------
 # Replay / verification
 # ----------------------------------------------------------------------
+
+
+def specs_for_entry(entry: dict) -> list:
+    """Reconstruct a config entry's :class:`TrialSpec` list exactly.
+
+    Rebuilds the specs the way
+    :func:`~repro.experiments.runner.run_guess_config` built them when
+    the entry was recorded: seeds re-derived from ``base_seed`` and
+    ``trace_hash`` forced on (the recorder forces it while active).
+    This is what lets the supervisor's checkpoint journal — keyed by
+    spec fingerprints — be verified against a manifest on resume.
+
+    Imports the executor lazily for the same reason :func:`replay_config`
+    imports the runner lazily: the runner imports this module for the
+    active-recorder hook, so a module-level import back would cycle.
+    """
+    from repro.experiments.executor import TrialSpec
+
+    return [
+        TrialSpec(
+            system=system_from_jsonable(entry["system"]),
+            protocol=protocol_from_jsonable(entry["protocol"]),
+            duration=entry["duration"],
+            warmup=entry["warmup"],
+            seed=derive_seed(entry["base_seed"], f"trial:{trial}"),
+            keep_queries=entry.get("keep_queries", False),
+            health_sample_interval=entry["health_sample_interval"],
+            faults=faults_from_jsonable(entry["faults"]),
+            trace_hash=True,
+        )
+        for trial in range(entry["trials"])
+    ]
 
 
 def replay_config(entry: dict, *, workers: int = 1) -> Tuple[str, ...]:

@@ -11,10 +11,12 @@ by tests/integration/test_determinism.py).
 from __future__ import annotations
 
 import pytest
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import ConfigError
 from repro.core.params import ProtocolParams, SystemParams
 from repro.experiments.executor import (
+    ChaosSpec,
     ProcessTrialExecutor,
     SerialTrialExecutor,
     TrialSpec,
@@ -22,6 +24,8 @@ from repro.experiments.executor import (
     get_executor,
 )
 from repro.experiments.runner import run_guess_config
+from repro.experiments.supervisor import SupervisedTrialExecutor
+from repro.observe.profiler import GLOBAL_PHASE, Profiler, activated
 
 SYSTEM = SystemParams(network_size=30)
 PROTOCOL = ProtocolParams(cache_size=8)
@@ -110,6 +114,98 @@ class TestSerialParallelEquivalence:
                 SYSTEM, PROTOCOL, executor=executor, **RUN_KWARGS
             )
         assert _report_fields(first[0]) == _report_fields(second[0])
+
+
+class TestPoolLifecycle:
+    def test_single_item_batch_never_starts_pool(self):
+        with ProcessTrialExecutor(workers=2) as executor:
+            [report] = executor.run_trials([_spec(seed=5)])
+            assert executor._pool is None
+        assert _report_fields(report) == _report_fields(
+            execute_trial(_spec(seed=5))
+        )
+
+    def test_exit_closes_pool_on_exception(self):
+        executor = ProcessTrialExecutor(workers=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            with executor:
+                executor.map(abs, [-1, 2])
+                assert executor._pool is not None
+                raise RuntimeError("boom")
+        assert executor._pool is None
+
+    def test_close_is_idempotent(self):
+        executor = ProcessTrialExecutor(workers=2)
+        executor.map(abs, [-1, 2])
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+
+    def test_broken_pool_is_discarded_and_respawned(self):
+        # A worker dying mid-batch poisons the ProcessPoolExecutor; the
+        # executor must surface the error, retire the dead pool, and
+        # serve the next batch from a fresh one.
+        crash = _spec(seed=6)
+        crash = TrialSpec(
+            system=crash.system,
+            protocol=crash.protocol,
+            duration=crash.duration,
+            warmup=crash.warmup,
+            seed=crash.seed,
+            chaos=ChaosSpec(mode="exit"),
+        )
+        with ProcessTrialExecutor(workers=2) as executor:
+            with pytest.raises(BrokenProcessPool):
+                executor.run_trials([crash, _spec(seed=7)])
+            assert executor._pool is None
+            reports = executor.run_trials([_spec(seed=8), _spec(seed=9)])
+        assert _report_fields(reports[0]) == _report_fields(
+            execute_trial(_spec(seed=8))
+        )
+
+    def test_close_after_broken_pool_is_safe(self):
+        crash = TrialSpec(
+            system=SYSTEM,
+            protocol=PROTOCOL,
+            duration=40.0,
+            warmup=5.0,
+            seed=6,
+            chaos=ChaosSpec(mode="exit"),
+        )
+        executor = ProcessTrialExecutor(workers=2)
+        with pytest.raises(BrokenProcessPool):
+            executor.run_trials([crash, _spec(seed=7)])
+        executor.close()
+        executor.close()
+
+
+class TestProfilerBatches:
+    def test_serial_executor_records_batch(self):
+        profiler = Profiler()
+        with activated(profiler):
+            with SerialTrialExecutor() as executor:
+                executor.map(abs, [-1, 2, -3])
+        stats = profiler._stats[GLOBAL_PHASE]
+        assert stats.batches == 1
+        assert stats.batch_items == 3
+
+    def test_process_executor_records_batch(self):
+        profiler = Profiler()
+        with activated(profiler):
+            with ProcessTrialExecutor(workers=2) as executor:
+                executor.map(abs, [-1, 2, -3])
+        stats = profiler._stats[GLOBAL_PHASE]
+        assert stats.batches == 1
+        assert stats.batch_items == 3
+
+    def test_supervised_executor_records_batch(self):
+        profiler = Profiler()
+        with activated(profiler):
+            with SupervisedTrialExecutor(workers=2) as executor:
+                executor.map(abs, [-1, 2, -3])
+        stats = profiler._stats[GLOBAL_PHASE]
+        assert stats.batches == 1
+        assert stats.batch_items == 3
 
 
 class TestMutateStaysInProcess:

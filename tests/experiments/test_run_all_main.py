@@ -5,7 +5,15 @@ from __future__ import annotations
 import json
 
 from repro.experiments.run_all import main
-from repro.observe.manifest import load_manifest, verify_manifest
+from repro.experiments.supervisor import (
+    JOURNAL_FILENAME,
+    PARTIAL_MANIFEST_FILENAME,
+)
+from repro.observe.manifest import load_manifest, verify_manifest, write_manifest
+
+
+def _digests(manifest: dict) -> list:
+    return [entry["trace_digests"] for entry in manifest["configs"]]
 
 
 class TestMain:
@@ -76,6 +84,84 @@ class TestMain:
         assert verify_manifest(manifest) == []
         # And it is plain JSON all the way down.
         assert json.loads(json.dumps(manifest)) == manifest
+
+    def test_supervised_run_matches_unsupervised(self, tmp_path, capsys):
+        plain_manifest = tmp_path / "plain.json"
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--manifest", str(plain_manifest),
+        ])
+        assert code == 0
+        supervised_manifest = tmp_path / "supervised.json"
+        checkpoint = tmp_path / "ckpt"
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--workers", "2",
+            "--supervise",
+            "--checkpoint-dir", str(checkpoint),
+            "--manifest", str(supervised_manifest),
+        ])
+        assert code == 0
+        assert (checkpoint / JOURNAL_FILENAME).exists()
+        capsys.readouterr()
+        # Supervision is invisible in the results: digest-for-digest
+        # identical to the plain run.
+        assert _digests(load_manifest(supervised_manifest)) == _digests(
+            load_manifest(plain_manifest)
+        )
+
+    def test_resume_serves_journaled_trials(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt"
+        fresh_manifest = tmp_path / "fresh.json"
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--supervise",
+            "--checkpoint-dir", str(checkpoint),
+            "--manifest", str(fresh_manifest),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        resumed_manifest = tmp_path / "resumed.json"
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--resume", str(checkpoint),
+            "--manifest", str(resumed_manifest),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"resuming from {checkpoint}" in out
+        assert _digests(load_manifest(resumed_manifest)) == _digests(
+            load_manifest(fresh_manifest)
+        )
+
+    def test_resume_refuses_contradicting_partial_manifest(
+        self, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "ckpt"
+        manifest_path = tmp_path / "m.json"
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--supervise",
+            "--checkpoint-dir", str(checkpoint),
+            "--manifest", str(manifest_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        manifest = load_manifest(manifest_path)
+        manifest["configs"][0]["trace_digests"][0] = "0" * 32
+        write_manifest(checkpoint / PARTIAL_MANIFEST_FILENAME, manifest)
+        code = main([
+            "--profile", "smoke",
+            "--only", "fig8",
+            "--resume", str(checkpoint),
+        ])
+        assert code == 2
+        assert "refusing to resume" in capsys.readouterr().err
 
     def test_profile_report_appended(self, tmp_path, capsys):
         code = main([
