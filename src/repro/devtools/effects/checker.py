@@ -1,0 +1,267 @@
+"""Contract evaluation: inferred effects + contracts -> RD006-RD010 findings.
+
+Findings are reported at the *origin site* — the line whose code directly
+performs the forbidden effect — with a witness call chain from a contract
+root in the message.  Suppression, in precedence order:
+
+1. a ``# repro: allow-effect-<slug>`` pragma on the origin line;
+2. the same pragma on the ``def`` line of the origin function
+   (per-function suppression);
+3. a committed baseline entry ``(rule, origin-function qualname)``.
+
+Unused baseline entries are reported as errors: the baseline may only
+shrink honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.effects.callgraph import Program
+from repro.devtools.effects.contracts import Baseline, Contract
+from repro.devtools.effects.inference import apply_intrinsics, propagate
+from repro.devtools.effects.model import Effect, EffectSite, EffectTable
+from repro.devtools.rules import RULES, Violation
+
+
+@dataclass
+class EffectCheckResult:
+    """Outcome of one contract-checking pass over a program."""
+
+    violations: List[Violation] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    #: The global (no-opaque) effect table, for ``--effects-report``.
+    table: Optional[EffectTable] = None
+
+
+def _suppressed(
+    program: Program,
+    rule_id: str,
+    origin_function: str,
+    site: EffectSite,
+    baseline: Baseline,
+    used_baseline: Set[Tuple[str, str]],
+) -> bool:
+    info = program.functions.get(origin_function)
+    if info is not None:
+        table = program.modules.get(info.module)
+        if table is not None:
+            if table.pragmas.suppresses(rule_id, site.line):
+                return True
+            if table.pragmas.suppresses(rule_id, info.lineno):
+                return True
+    if baseline.accepts(rule_id, origin_function):
+        used_baseline.add((rule_id, origin_function))
+        return True
+    return False
+
+
+def _entry_module_analyzed(program: Program, qualname: str) -> bool:
+    """Whether the module owning ``qualname`` is part of this program."""
+    parts = qualname.split(".")
+    return any(
+        ".".join(parts[:i]) in program.modules
+        for i in range(len(parts) - 1, 0, -1)
+    )
+
+
+def _shorten(qualname: str) -> str:
+    """Drop the shared ``repro.`` prefix for readable chains."""
+    return qualname[6:] if qualname.startswith("repro.") else qualname
+
+
+def _check_forbid(
+    program: Program,
+    contract: Contract,
+    table: EffectTable,
+    baseline: Baseline,
+    used_baseline: Set[Tuple[str, str]],
+    out: List[Violation],
+) -> None:
+    rule = RULES[contract.rule_id]
+    #: (effect, origin path, origin line) -> (site, origin fn, roots)
+    grouped: Dict[
+        Tuple[str, str, int], Tuple[EffectSite, str, List[str]]
+    ] = {}
+    for qualname in sorted(program.functions):
+        info = program.functions[qualname]
+        if not contract.in_scope(info.module) or contract.is_exempt(qualname):
+            continue
+        forbidden = table.effects_of(qualname) & contract.forbid
+        for effect in sorted(forbidden, key=lambda e: e.value):
+            site = table.origin_site(qualname, effect)
+            if site is None:  # pragma: no cover - defensive
+                continue
+            origin_fn = table.origin_function(qualname, effect)
+            key = (effect.value, site.path, site.line)
+            if key in grouped:
+                grouped[key][2].append(qualname)
+            else:
+                grouped[key] = (site, origin_fn, [qualname])
+    for key in sorted(grouped):
+        effect_name, path, line = key
+        site, origin_fn, roots = grouped[key]
+        if _suppressed(
+            program, contract.rule_id, origin_fn, site, baseline, used_baseline
+        ):
+            continue
+        root = roots[0]
+        chain = table.chain(root, Effect(effect_name))
+        chain_text = " -> ".join(_shorten(q) for q in chain)
+        extra = f" (+{len(roots) - 1} more roots)" if len(roots) > 1 else ""
+        out.append(
+            Violation(
+                rule=rule,
+                path=path,
+                line=line,
+                column=1,
+                message=(
+                    f"{effect_name} ({site.detail}) reachable from contract "
+                    f"root {_shorten(root)}{extra} via {chain_text}; "
+                    f"{contract.reason}"
+                ),
+            )
+        )
+
+
+def _check_substreams(
+    program: Program,
+    contract: Contract,
+    baseline: Baseline,
+    used_baseline: Set[Tuple[str, str]],
+    out: List[Violation],
+) -> None:
+    rule = RULES[contract.rule_id]
+    prefix = contract.substream_prefix
+    assert prefix is not None
+    for module_name in sorted(program.modules):
+        if not contract.in_scope(module_name):
+            continue
+        module = program.modules[module_name]
+        for call in module.stream_calls:
+            if contract.is_exempt(call.function):
+                continue
+            if call.literal_prefix is not None and call.literal_prefix.startswith(
+                prefix
+            ):
+                continue
+            site = EffectSite(
+                path=module.path, line=call.line, detail=call.callee
+            )
+            if _suppressed(
+                program, contract.rule_id, call.function, site, baseline,
+                used_baseline,
+            ):
+                continue
+            if call.literal_prefix is None:
+                shape = "a name that cannot be proven constant"
+            elif call.is_constant:
+                shape = f"constant name {call.literal_prefix!r}"
+            else:
+                shape = f"literal prefix {call.literal_prefix!r}"
+            out.append(
+                Violation(
+                    rule=rule,
+                    path=module.path,
+                    line=call.line,
+                    column=1,
+                    message=(
+                        f"{call.callee}() in {_shorten(call.function)} uses "
+                        f"{shape}; this scope must draw only from "
+                        f"{prefix}* substreams — {contract.reason}"
+                    ),
+                )
+            )
+
+
+def _check_imports(
+    program: Program,
+    contract: Contract,
+    baseline: Baseline,
+    used_baseline: Set[Tuple[str, str]],
+    out: List[Violation],
+) -> None:
+    rule = RULES[contract.rule_id]
+    for module_name in sorted(program.modules):
+        if not contract.in_scope(module_name):
+            continue
+        module = program.modules[module_name]
+        pseudo = f"{module_name}.<module>"
+        for site in module.import_sites:
+            if site.type_checking:
+                continue
+            if not any(
+                site.module == prefix or site.module.startswith(prefix + ".")
+                for prefix in contract.forbid_imports
+            ):
+                continue
+            effect_site = EffectSite(
+                path=module.path, line=site.line, detail=site.module
+            )
+            if _suppressed(
+                program, contract.rule_id, pseudo, effect_site, baseline,
+                used_baseline,
+            ):
+                continue
+            out.append(
+                Violation(
+                    rule=rule,
+                    path=module.path,
+                    line=site.line,
+                    column=1,
+                    message=(
+                        f"import of {site.module} inside {module_name}: "
+                        f"{contract.reason}"
+                    ),
+                )
+            )
+
+
+def check_effects(
+    program: Program,
+    contracts: List[Contract],
+    baseline: Baseline,
+    rule_ids: Optional[Set[str]] = None,
+) -> EffectCheckResult:
+    """Evaluate ``contracts`` (optionally filtered to ``rule_ids``)."""
+    result = EffectCheckResult(errors=list(program.errors))
+    apply_intrinsics(program)
+    result.table = propagate(program)
+    used_baseline: Set[Tuple[str, str]] = set()
+    active = [
+        c for c in contracts if rule_ids is None or c.rule_id in rule_ids
+    ]
+    for contract in active:
+        if contract.forbid:
+            table = (
+                result.table
+                if not contract.opaque
+                else propagate(program, opaque=contract.opaque)
+            )
+            _check_forbid(
+                program, contract, table, baseline, used_baseline,
+                result.violations,
+            )
+        if contract.substream_prefix is not None:
+            _check_substreams(
+                program, contract, baseline, used_baseline, result.violations
+            )
+        if contract.forbid_imports:
+            _check_imports(
+                program, contract, baseline, used_baseline, result.violations
+            )
+    active_rules = {c.rule_id for c in active}
+    for entry in baseline.unused(used_baseline):
+        if entry.rule_id not in active_rules:
+            continue
+        if not _entry_module_analyzed(program, entry.function):
+            # Partial lint (e.g. one file): the entry's module is not in
+            # this program, so the entry is out of scope, not stale.
+            continue
+        result.errors.append(
+            f"stale baseline entry: {entry.rule_id} {entry.function} "
+            "matched no finding — remove it from effect_baseline.toml"
+        )
+    result.violations.sort(key=lambda v: (v.path, v.line, v.rule.id))
+    return result

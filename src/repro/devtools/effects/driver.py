@@ -1,0 +1,90 @@
+"""Top-level entry points tying extraction, inference, and contracts.
+
+``analyze_paths`` is what the lint CLI calls: it maps ``*.py`` files to
+dotted module names (only files inside a ``repro`` package participate —
+test and benchmark files cannot be imported as ``repro.*`` and no
+contract scopes them), builds the program, and evaluates the committed
+contracts.  ``analyze_sources`` is the in-memory variant the fixture
+corpus uses, with explicit virtual module names.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.effects.callgraph import Program, build_program
+from repro.devtools.effects.checker import EffectCheckResult, check_effects
+from repro.devtools.effects.contracts import (
+    Baseline,
+    Contract,
+    load_baseline,
+    load_contracts,
+)
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name for a file inside a ``repro`` package tree."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    start = parts.index("repro")
+    dotted = parts[start:]
+    leaf = dotted[-1]
+    if not leaf.endswith(".py"):
+        return None
+    if leaf == "__init__.py":
+        dotted = dotted[:-1]
+    else:
+        dotted[-1] = leaf[: -len(".py")]
+    return ".".join(dotted)
+
+
+def collect_sources(
+    files: Iterable[Path],
+) -> Tuple[Dict[str, Tuple[str, str]], List[str]]:
+    """Read ``repro``-package files into ``{module: (path, source)}``."""
+    sources: Dict[str, Tuple[str, str]] = {}
+    errors: List[str] = []
+    for path in files:
+        module = module_name_for(path)
+        if module is None:
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+            continue
+        sources[module] = (str(path), source)
+    return sources, errors
+
+
+def analyze_sources(
+    sources: Dict[str, Tuple[str, str]],
+    contracts: Optional[Sequence[Contract]] = None,
+    baseline: Optional[Baseline] = None,
+    rule_ids: Optional[Set[str]] = None,
+) -> EffectCheckResult:
+    """Run the effect engine over in-memory ``{module: (path, source)}``."""
+    program = build_program(dict(sources))
+    contract_list = (
+        list(contracts) if contracts is not None else load_contracts()
+    )
+    baseline_obj = baseline if baseline is not None else Baseline()
+    return check_effects(program, contract_list, baseline_obj, rule_ids)
+
+
+def analyze_paths(
+    files: Iterable[Path],
+    contracts_path: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    rule_ids: Optional[Set[str]] = None,
+) -> Tuple[EffectCheckResult, Program]:
+    """Run the effect engine over files on disk with committed contracts."""
+    sources, read_errors = collect_sources(files)
+    program = build_program(sources)
+    contracts = load_contracts(contracts_path)
+    baseline = load_baseline(baseline_path)
+    result = check_effects(program, contracts, baseline, rule_ids)
+    result.errors = read_errors + result.errors
+    return result, program

@@ -1,0 +1,135 @@
+"""Data model for the static effect analysis.
+
+The engine describes a program as a set of *functions* (module-level
+functions, methods, and one ``<module>`` pseudo-function per module for
+import-time code), each carrying
+
+* the *direct* effects its own statements perform, and
+* resolved call edges to other functions in the program.
+
+Effects form a small powerset lattice: the inferred effect set of a
+function is the union of its direct effects and the effect sets of every
+resolvable callee, computed to a fixpoint by
+:func:`repro.devtools.effects.inference.propagate`.  Calls that cannot be
+resolved are *unknown* and contribute nothing — the analysis is
+deliberately false-negative-tolerant (like the RD001-RD005 visitors), and
+the dynamic trace-hash pins backstop what it cannot prove.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+class Effect(enum.Enum):
+    """One observable side effect a function may (transitively) perform."""
+
+    RNG_DRAW = "RNG_DRAW"
+    SCHEDULE = "SCHEDULE"
+    WALLCLOCK = "WALLCLOCK"
+    FILE_IO = "FILE_IO"
+    UNORDERED_ITER = "UNORDERED_ITER"
+    GLOBAL_MUT = "GLOBAL_MUT"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Stable ordering for rendering effect sets.
+EFFECT_ORDER: Tuple[Effect, ...] = tuple(Effect)
+
+
+def effect_names(effects: FrozenSet[Effect]) -> str:
+    """Render an effect set in declaration order: ``RNG_DRAW+SCHEDULE``."""
+    return "+".join(e.value for e in EFFECT_ORDER if e in effects) or "-"
+
+
+@dataclass(frozen=True, slots=True)
+class EffectSite:
+    """Where a direct effect happens: file, line, and what was seen there."""
+
+    path: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class CallEdge:
+    """One resolved call: ``callee`` is a qualname in the program."""
+
+    callee: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function (or method, or module pseudo-function).
+
+    Attributes:
+        qualname: fully qualified name — ``repro.sim.engine.Simulator.step``
+            or ``repro.faults.plan.<module>`` for import-time code.
+        module: the dotted module the function lives in.
+        path: file path the module was analyzed under (for reporting).
+        lineno: line of the ``def`` (module pseudo-functions use line 1).
+        direct: first-seen site per direct effect of this function's body.
+        calls: resolved call edges, in source order.
+        unknown_calls: count of call sites the resolver gave up on.
+    """
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    direct: Dict[Effect, EffectSite] = field(default_factory=dict)
+    calls: List[CallEdge] = field(default_factory=list)
+    unknown_calls: int = 0
+
+    def add_direct(self, effect: Effect, site: EffectSite) -> None:
+        """Record a direct effect (first site wins, for stable reports)."""
+        self.direct.setdefault(effect, site)
+
+
+@dataclass(frozen=True, slots=True)
+class EffectOrigin:
+    """Why a function carries an effect: either its own site or a callee.
+
+    ``via`` is ``None`` when the effect is direct; otherwise it is the
+    qualname of the (first, in deterministic order) callee the effect was
+    inherited from, and ``site`` is the ultimate direct site.
+    """
+
+    site: EffectSite
+    via: Optional[str]
+
+
+@dataclass
+class EffectTable:
+    """Fixpoint result: per-function transitive effect sets with origins."""
+
+    effects: Dict[str, FrozenSet[Effect]]
+    origins: Dict[str, Dict[Effect, EffectOrigin]]
+
+    def effects_of(self, qualname: str) -> FrozenSet[Effect]:
+        return self.effects.get(qualname, frozenset())
+
+    def chain(self, qualname: str, effect: Effect, limit: int = 12) -> List[str]:
+        """Call chain from ``qualname`` to the direct site of ``effect``."""
+        chain = [qualname]
+        current = qualname
+        for _ in range(limit):
+            origin = self.origins.get(current, {}).get(effect)
+            if origin is None or origin.via is None:
+                break
+            chain.append(origin.via)
+            current = origin.via
+        return chain
+
+    def origin_site(self, qualname: str, effect: Effect) -> Optional[EffectSite]:
+        origin = self.origins.get(qualname, {}).get(effect)
+        return origin.site if origin is not None else None
+
+    def origin_function(self, qualname: str, effect: Effect) -> str:
+        """Qualname of the function whose body performs ``effect``."""
+        return self.chain(qualname, effect)[-1]

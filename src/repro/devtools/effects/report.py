@@ -1,0 +1,34 @@
+"""Rendering of the inferred effect table (``--effects-report``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devtools.effects.callgraph import Program
+from repro.devtools.effects.model import EffectTable, effect_names
+
+
+def render_effect_table(program: Program, table: EffectTable) -> str:
+    """Plain-text effect table: one line per function with effects.
+
+    Pure functions (empty inferred set) are summarized by count only, so
+    the table stays readable on a ~1k-function program; the full row set
+    would bury the interesting entries.
+    """
+    lines: List[str] = ["function\teffects\tdirect"]
+    pure = 0
+    for qualname in sorted(table.effects):
+        effects = table.effects[qualname]
+        if not effects:
+            pure += 1
+            continue
+        info = program.functions.get(qualname)
+        direct = (
+            effect_names(frozenset(info.direct)) if info is not None else "-"
+        )
+        lines.append(f"{qualname}\t{effect_names(effects)}\t{direct}")
+    lines.append(
+        f"# {len(table.effects)} function(s) analyzed, "
+        f"{len(table.effects) - pure} effectful, {pure} pure"
+    )
+    return "\n".join(lines)

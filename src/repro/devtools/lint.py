@@ -1,24 +1,75 @@
-"""Command-line entry point for the determinism linter.
+"""Command-line entry point for the determinism and effect linters.
 
 Usage::
 
     python -m repro.devtools.lint src/ tests/ benchmarks/
+    python -m repro.devtools.lint --rules RD006-RD010 src/
+    python -m repro.devtools.lint --rules RD006-RD010 --effects-report src/
     python -m repro.devtools.lint --list-rules
-    python -m repro.devtools.lint --explain RD003
+    python -m repro.devtools.lint --explain RD007
 
-Exit status: 0 when every file is clean, 1 when violations or pragma/
-syntax errors were found, 2 for usage errors.
+Exit status (honest and stable — CI depends on it):
+
+* ``0`` — every selected rule is clean;
+* ``1`` — findings (rule violations) were reported;
+* ``2`` — usage or parse errors: unknown flags/rules, unreadable files,
+  syntax errors, malformed/unknown pragmas, bad contract or baseline
+  files, stale baseline entries.  Errors take precedence over findings,
+  so a run that both finds violations and fails to parse a file exits 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Set
 
-from repro.devtools.linter import lint_paths
+from repro.devtools.linter import lint_all
 from repro.devtools.reporter import render_result, render_rules
 from repro.devtools.rules import RULES
+
+_RULE_RE = re.compile(r"^RD\d{3}$")
+_RANGE_RE = re.compile(r"^(RD\d{3})-(RD\d{3})$")
+
+
+def parse_rule_selection(spec: str) -> Set[str]:
+    """Parse ``--rules``: comma-separated ids and ``RDxxx-RDyyy`` ranges.
+
+    Raises:
+        ValueError: a token is malformed or names no registered rule.
+    """
+    selected: Set[str] = set()
+    for token in spec.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        range_match = _RANGE_RE.match(token)
+        if range_match:
+            low = int(range_match.group(1)[2:])
+            high = int(range_match.group(2)[2:])
+            if low > high:
+                raise ValueError(f"empty rule range {token!r}")
+            ids = {f"RD{n:03d}" for n in range(low, high + 1)}
+            known = ids & set(RULES)
+            if not known:
+                raise ValueError(f"rule range {token!r} matches no rules")
+            selected |= known
+            continue
+        if _RULE_RE.match(token):
+            if token not in RULES:
+                raise ValueError(
+                    f"unknown rule {token!r}; known: {sorted(RULES)}"
+                )
+            selected.add(token)
+            continue
+        raise ValueError(
+            f"bad --rules token {token!r} (expected RDxxx or RDxxx-RDyyy)"
+        )
+    if not selected:
+        raise ValueError("empty --rules selection")
+    return selected
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,9 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description=(
-            "Static determinism lint: enforce the named-RNG-stream, "
-            "no-wall-clock, and ordered-iteration rules the simulator's "
-            "bit-for-bit reproducibility depends on."
+            "Static determinism lint: the per-file rules RD001-RD005 "
+            "(named RNG streams, no wall clock, ordered iteration) plus "
+            "the whole-program effect contracts RD006-RD010 "
+            "(observation invisibility, fault substreams, kernel purity)."
         ),
     )
     parser.add_argument(
@@ -36,6 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         help="files or directories to lint (e.g. src/ tests/ benchmarks/)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="SPEC",
+        help=(
+            "restrict to a rule subset: comma-separated ids and ranges, "
+            "e.g. 'RD006-RD010' or 'RD001,RD003' (default: all rules)"
+        ),
+    )
+    parser.add_argument(
+        "--effects-report",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help=(
+            "dump the inferred per-function effect table to PATH "
+            "(default: stdout); implies the effect rules ran"
+        ),
+    )
+    parser.add_argument(
+        "--contracts",
+        metavar="PATH",
+        help="effect contract file (default: committed effect_contracts.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="accepted-findings file (default: committed effect_baseline.toml)",
     )
     parser.add_argument(
         "--list-rules",
@@ -57,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the linter; returns the process exit code."""
+    """Run the linter; returns the process exit code (see module doc)."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -79,13 +159,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: no paths given", file=sys.stderr)
         return 2
 
-    result = lint_paths(args.paths)
+    rule_ids: Optional[Set[str]] = None
+    if args.rules:
+        try:
+            rule_ids = parse_rule_selection(args.rules)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result, program, table = lint_all(
+        args.paths,
+        rule_ids=rule_ids,
+        contracts_path=Path(args.contracts) if args.contracts else None,
+        baseline_path=Path(args.baseline) if args.baseline else None,
+    )
+
+    if args.effects_report:
+        if program is None or table is None:
+            print(
+                "error: --effects-report requires at least one effect rule "
+                "(RD006-RD010) in the selection",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.devtools.effects.report import render_effect_table
+
+        rendered = render_effect_table(program, table)
+        if args.effects_report == "-":
+            print(rendered)
+        else:
+            Path(args.effects_report).write_text(
+                rendered + "\n", encoding="utf-8"
+            )
+
     if result.ok:
         if not args.quiet:
             print(render_result(result))
         return 0
     print(render_result(result))
-    return 1
+    return 2 if result.errors else 1
 
 
 if __name__ == "__main__":

@@ -10,9 +10,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.devtools.pragmas import PragmaIndex
+from repro.devtools.pragmas import SuppressionIndex
+
+if TYPE_CHECKING:
+    from repro.devtools.effects.callgraph import Program
+    from repro.devtools.effects.model import EffectTable
 from repro.devtools.rules import VISITOR_FACTORIES, Rule, Violation
 from repro.devtools.visitors import FileContext
 
@@ -49,13 +53,17 @@ class LintResult:
         self.files_checked += other.files_checked
 
 
-def lint_source(source: str, path: str) -> LintResult:
+def lint_source(
+    source: str, path: str, rule_ids: Optional[Set[str]] = None
+) -> LintResult:
     """Lint ``source`` as though it lived at ``path``.
 
     ``path`` drives both reporting and scope decisions (RD001 exempts
     ``repro/sim/rng.py``, RD002 applies only inside the ``repro``
     package, RD005 exempts ``repro/sim/engine.py``), so fixture tests can
     exercise path-dependent behaviour without touching the filesystem.
+    ``rule_ids`` restricts the pass to a subset of the per-file rules
+    (None = all of RD001-RD005).
     """
     result = LintResult(files_checked=1)
     try:
@@ -64,7 +72,7 @@ def lint_source(source: str, path: str) -> LintResult:
         result.errors.append(f"{path}:{exc.lineno or 0}: syntax error: {exc.msg}")
         return result
 
-    pragmas = PragmaIndex.from_source(source)
+    pragmas = SuppressionIndex.from_source(source, tree)
     result.errors.extend(f"{path}: {error}" for error in pragmas.errors)
 
     raw: List[Violation] = []
@@ -82,6 +90,8 @@ def lint_source(source: str, path: str) -> LintResult:
 
     ctx = FileContext(path=path, report=report)
     for rule_id in sorted(VISITOR_FACTORIES):
+        if rule_ids is not None and rule_id not in rule_ids:
+            continue
         VISITOR_FACTORIES[rule_id](ctx).visit(tree)
 
     result.violations.extend(
@@ -92,7 +102,9 @@ def lint_source(source: str, path: str) -> LintResult:
     return result
 
 
-def lint_file(path: str | Path) -> LintResult:
+def lint_file(
+    path: str | Path, rule_ids: Optional[Set[str]] = None
+) -> LintResult:
     """Lint one file on disk."""
     file_path = Path(path)
     try:
@@ -101,7 +113,7 @@ def lint_file(path: str | Path) -> LintResult:
         result = LintResult(files_checked=1)
         result.errors.append(f"{file_path}: unreadable: {exc}")
         return result
-    return lint_source(source, str(file_path))
+    return lint_source(source, str(file_path), rule_ids)
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
@@ -116,9 +128,71 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
             yield path
 
 
-def lint_paths(paths: Sequence[str | Path]) -> LintResult:
-    """Lint every Python file under ``paths`` (files or directories)."""
+def lint_paths(
+    paths: Sequence[str | Path], rule_ids: Optional[Set[str]] = None
+) -> LintResult:
+    """Lint every Python file under ``paths`` (files or directories).
+
+    Runs the per-file rules (RD001-RD005, optionally restricted by
+    ``rule_ids``); the whole-program effect rules RD006-RD010 are driven
+    separately via :func:`repro.devtools.effects.analyze_paths` (see
+    :func:`lint_all`).
+    """
     result = LintResult()
     for file_path in iter_python_files(paths):
-        result.extend(lint_file(file_path))
+        result.extend(lint_file(file_path, rule_ids))
     return result
+
+
+def lint_all(
+    paths: Sequence[str | Path],
+    rule_ids: Optional[Set[str]] = None,
+    contracts_path: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+) -> Tuple[LintResult, "Optional[Program]", "Optional[EffectTable]"]:
+    """Run per-file and whole-program rules over ``paths``.
+
+    Returns ``(LintResult, Program | None, EffectTable | None)`` — the
+    program and effect table are None when no effect rule was selected.
+    """
+    from repro.devtools.effects import analyze_paths
+    from repro.devtools.effects.contracts import ContractError
+    from repro.devtools.rules import EFFECT_RULE_IDS, FILE_RULE_IDS
+
+    selected_file = (
+        set(FILE_RULE_IDS)
+        if rule_ids is None
+        else set(rule_ids) & set(FILE_RULE_IDS)
+    )
+    selected_effect = (
+        set(EFFECT_RULE_IDS)
+        if rule_ids is None
+        else set(rule_ids) & set(EFFECT_RULE_IDS)
+    )
+
+    result = LintResult()
+    files = list(iter_python_files(paths))
+    if selected_file:
+        for file_path in files:
+            result.extend(lint_file(file_path, selected_file))
+    else:
+        result.files_checked = len(files)
+
+    program = None
+    table = None
+    if selected_effect:
+        try:
+            effect_result, program = analyze_paths(
+                files,
+                contracts_path=contracts_path,
+                baseline_path=baseline_path,
+                rule_ids=selected_effect,
+            )
+        except ContractError as exc:
+            result.errors.append(str(exc))
+        else:
+            result.violations.extend(effect_result.violations)
+            result.errors.extend(effect_result.errors)
+            table = effect_result.table
+    result.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule.id))
+    return result, program, table

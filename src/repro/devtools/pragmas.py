@@ -14,18 +14,23 @@ Accepted forms:
 
 Pragmas are extracted with :mod:`tokenize`, not string search, so pragma
 text inside string literals never suppresses anything.  A pragma on the
-first line of a multi-line statement suppresses findings reported anywhere
-on that statement's lines (handled by the linter, which checks the
-reported line only — visitors report the line the pragma-carrying token
-lives on).
+first line of a multi-line (parenthesized or continued) statement
+suppresses findings reported on any of that statement's lines: the
+:class:`SuppressionIndex` pairs the per-line pragma map with statement
+extents from the AST, so ``# repro: allow-*`` at the start of a wrapped
+call covers findings the visitors report on its continuation lines.  For
+compound statements (``for``/``if``/``def`` ...) only the header lines —
+up to the first body statement — are covered, so a pragma on a loop line
+never blankets the loop body.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.devtools.rules import rules_for_pragma_key
 
@@ -113,3 +118,90 @@ class PragmaIndex:
     def lines(self) -> Dict[int, FrozenSet[str]]:
         """Snapshot of the line -> suppressed-rule-ids map."""
         return dict(self._by_line)
+
+
+#: Statements whose full (lineno, end_lineno) span is one logical line.
+_SIMPLE_STATEMENTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+def statement_extents(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Multi-line spans ``(first line, last line)`` of logical statements.
+
+    Simple statements span their whole node; compound statements span
+    only their header (down to the line before the first body statement),
+    so a pragma on ``for ...:`` covers a wrapped iterable expression but
+    never the loop body.  Single-line statements are omitted — exact-line
+    matching already handles them.
+    """
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        start = getattr(node, "lineno", None)
+        if start is None:
+            continue
+        if isinstance(node, _SIMPLE_STATEMENTS):
+            end = getattr(node, "end_lineno", start) or start
+        elif isinstance(node, ast.stmt):
+            body = getattr(node, "body", None)
+            if not body or not isinstance(body, list):
+                continue
+            first = getattr(body[0], "lineno", start)
+            end = first - 1
+        else:
+            continue
+        if end > start:
+            extents.append((start, end))
+    return extents
+
+
+class SuppressionIndex:
+    """Pragma lookups extended across multi-line statements.
+
+    Wraps a :class:`PragmaIndex` with the statement extents of the parsed
+    module: a finding on line ``n`` is suppressed if a pragma sits on
+    ``n`` itself or on the first line of a multi-line statement whose
+    span contains ``n``.
+    """
+
+    __slots__ = ("_pragmas", "_extents")
+
+    def __init__(
+        self, pragmas: PragmaIndex, extents: List[Tuple[int, int]]
+    ) -> None:
+        self._pragmas = pragmas
+        self._extents = extents
+
+    @classmethod
+    def from_source(
+        cls, source: str, tree: Optional[ast.AST] = None
+    ) -> "SuppressionIndex":
+        """Build from source text (and its parsed tree, when available)."""
+        pragmas = PragmaIndex.from_source(source)
+        extents = statement_extents(tree) if tree is not None else []
+        return cls(pragmas, extents)
+
+    @property
+    def errors(self) -> List[str]:
+        return self._pragmas.errors
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        if self._pragmas.suppresses(rule_id, line):
+            return True
+        for start, end in self._extents:
+            if start <= line <= end and self._pragmas.suppresses(
+                rule_id, start
+            ):
+                return True
+        return False

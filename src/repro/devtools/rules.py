@@ -172,5 +172,101 @@ RD005 = register_rule(
     )
 )
 
+RD006 = register_rule(
+    Rule(
+        id="RD006",
+        slug="effect-observe",
+        summary=(
+            "RNG_DRAW or SCHEDULE effect reachable from repro.observe "
+            "(observation must be invisible to the trace)"
+        ),
+        rationale=(
+            "Arming repro.observe must never perturb a run: the golden "
+            "digest pins prove it for the configs we pin, and this "
+            "contract proves it for every call path.  Nothing reachable "
+            "from an observe entry point may draw randomness or touch "
+            "the event schedule."
+        ),
+    )
+)
+
+RD007 = register_rule(
+    Rule(
+        id="RD007",
+        slug="effect-fault-substream",
+        summary=(
+            "repro.faults RNG access outside a constant 'fault:'-prefixed "
+            "substream name"
+        ),
+        rationale=(
+            "Fault draws live on fault:* substreams so that toggling a "
+            "fault source never shifts protocol streams (policies, "
+            "queries, ...).  Every derive_seed()/stream() call site in "
+            "repro.faults must pass a string whose literal prefix is "
+            "'fault:' — a computed name could collide with a protocol "
+            "stream and silently break the all-zeros-invisibility pin."
+        ),
+    )
+)
+
+RD008 = register_rule(
+    Rule(
+        id="RD008",
+        slug="effect-reporting",
+        summary=(
+            "SCHEDULE effect reachable from repro.reporting or "
+            "repro.analysis (post-hoc code must not schedule events)"
+        ),
+        rationale=(
+            "Reporting and analysis run after (or beside) the simulation "
+            "and must stay read-only with respect to the event schedule; "
+            "a scheduled event from a formatter would change the trace "
+            "depending on whether results are rendered."
+        ),
+    )
+)
+
+RD009 = register_rule(
+    Rule(
+        id="RD009",
+        slug="effect-supervisor",
+        summary=(
+            "repro.experiments.supervisor touching simulation state "
+            "(RNG/schedule effects, sim-package imports, global mutation)"
+        ),
+        rationale=(
+            "The supervisor orchestrates worker processes; all simulation "
+            "state lives behind the execute_trial boundary.  If the "
+            "supervisor itself drew randomness, scheduled events, or "
+            "imported simulation modules, a resumed sweep could diverge "
+            "from a one-shot run — the byte-identical resume pin only "
+            "checks the sweeps we pin."
+        ),
+    )
+)
+
+RD010 = register_rule(
+    Rule(
+        id="RD010",
+        slug="effect-kernel-io",
+        summary=(
+            "FILE_IO or WALLCLOCK effect inside the repro.sim kernel "
+            "(the hot loop does no I/O)"
+        ),
+        rationale=(
+            "The event kernel is the innermost loop of every experiment; "
+            "file I/O or wall-clock reads there leak host speed into "
+            "results and wreck throughput.  Profiling reads are the only "
+            "sanctioned exception and carry explicit pragmas."
+        ),
+    )
+)
+
+#: Rule ids checked per-file by AST visitors (repro.devtools.visitors).
+FILE_RULE_IDS: frozenset = frozenset({"RD001", "RD002", "RD003", "RD004", "RD005"})
+
+#: Rule ids checked whole-program by the effect engine (devtools.effects).
+EFFECT_RULE_IDS: frozenset = frozenset({"RD006", "RD007", "RD008", "RD009", "RD010"})
+
 #: Rules in id order, for reporting.
 ORDERED_RULES: List[Rule] = [RULES[key] for key in sorted(RULES)]

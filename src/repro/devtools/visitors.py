@@ -12,7 +12,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.devtools.rules import (
     RD001,
@@ -134,7 +134,7 @@ class _ImportTracker(ast.NodeVisitor):
             return self.module_aliases.get(node.id)
         return None
 
-    def _from_import_of(self, node: ast.AST) -> Optional[tuple]:
+    def _from_import_of(self, node: ast.AST) -> Optional[Tuple[str, str]]:
         """The ``(module, original)`` pair behind a from-imported name."""
         if isinstance(node, ast.Name):
             return self.name_imports.get(node.id)

@@ -32,7 +32,7 @@ bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Any, Tuple
 
 from repro.errors import ConfigError
 
@@ -191,6 +191,6 @@ class FaultPlan:
             and not self.partitions
         )
 
-    def with_(self, **changes) -> "FaultPlan":
+    def with_(self, **changes: Any) -> "FaultPlan":
         """Return a copy with ``changes`` applied (sweep helper)."""
         return replace(self, **changes)

@@ -25,6 +25,8 @@ state.  ``tests/integration/test_determinism.py`` and
 ``tests/property/test_observe_invisibility.py`` hold this line.
 """
 
+from typing import Any
+
 from repro.observe.plan import Observation, ObservationPlan
 from repro.observe.profiler import Profiler, active_profiler
 from repro.observe.registry import (
@@ -50,7 +52,7 @@ _MANIFEST_EXPORTS = frozenset({
 })
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     if name in _MANIFEST_EXPORTS:
         from repro.observe import manifest
 

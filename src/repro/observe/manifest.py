@@ -27,7 +27,18 @@ import json
 import sys
 from contextlib import contextmanager
 from dataclasses import asdict
-from typing import Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
 from repro.faults.plan import (
@@ -38,6 +49,9 @@ from repro.faults.plan import (
 )
 from repro.sim.rng import derive_seed
 
+if TYPE_CHECKING:
+    from repro.experiments.executor import TrialSpec
+
 #: Bumped when the manifest layout changes incompatibly.
 MANIFEST_VERSION = 1
 
@@ -47,31 +61,31 @@ MANIFEST_VERSION = 1
 # ----------------------------------------------------------------------
 
 
-def system_to_jsonable(system: SystemParams) -> dict:
+def system_to_jsonable(system: SystemParams) -> Dict[str, Any]:
     """JSON-ready dict for :class:`SystemParams` (enum by name)."""
     data = asdict(system)
     data["bad_pong_behavior"] = system.bad_pong_behavior.name
     return data
 
 
-def system_from_jsonable(data: dict) -> SystemParams:
+def system_from_jsonable(data: Dict[str, Any]) -> SystemParams:
     """Inverse of :func:`system_to_jsonable`."""
     data = dict(data)
     data["bad_pong_behavior"] = BadPongBehavior[data["bad_pong_behavior"]]
     return SystemParams(**data)
 
 
-def protocol_to_jsonable(protocol: ProtocolParams) -> dict:
+def protocol_to_jsonable(protocol: ProtocolParams) -> Dict[str, Any]:
     """JSON-ready dict for :class:`ProtocolParams` (all scalars)."""
     return asdict(protocol)
 
 
-def protocol_from_jsonable(data: dict) -> ProtocolParams:
+def protocol_from_jsonable(data: Dict[str, Any]) -> ProtocolParams:
     """Inverse of :func:`protocol_to_jsonable`."""
     return ProtocolParams(**data)
 
 
-def faults_to_jsonable(faults: Optional[FaultPlan]) -> Optional[dict]:
+def faults_to_jsonable(faults: Optional[FaultPlan]) -> Optional[Dict[str, Any]]:
     """JSON-ready dict for a :class:`FaultPlan` (None stays None)."""
     if faults is None:
         return None
@@ -80,7 +94,7 @@ def faults_to_jsonable(faults: Optional[FaultPlan]) -> Optional[dict]:
     return data
 
 
-def faults_from_jsonable(data: Optional[dict]) -> Optional[FaultPlan]:
+def faults_from_jsonable(data: Optional[Dict[str, Any]]) -> Optional[FaultPlan]:
     """Inverse of :func:`faults_to_jsonable`."""
     if data is None:
         return None
@@ -104,7 +118,7 @@ class ManifestRecorder:
     """Accumulates one config entry per :func:`run_guess_config` call."""
 
     def __init__(self) -> None:
-        self.configs: List[dict] = []
+        self.configs: List[Dict[str, Any]] = []
 
     def record_config(
         self,
@@ -144,7 +158,7 @@ class ManifestRecorder:
         workers: int,
         wall_clock_seconds: float,
         command: Optional[Sequence[str]] = None,
-    ) -> dict:
+    ) -> Dict[str, Any]:
         """Freeze everything recorded so far into a manifest dict."""
         from repro import __version__
 
@@ -185,14 +199,14 @@ def activated(recorder: ManifestRecorder) -> Iterator[ManifestRecorder]:
 # ----------------------------------------------------------------------
 
 
-def write_manifest(path, manifest: dict) -> None:
+def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> None:
     """Write ``manifest`` as pretty-printed, key-sorted JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
-def load_manifest(path) -> dict:
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     """Read a manifest written by :func:`write_manifest`."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
@@ -203,7 +217,7 @@ def load_manifest(path) -> dict:
 # ----------------------------------------------------------------------
 
 
-def specs_for_entry(entry: dict) -> list:
+def specs_for_entry(entry: Dict[str, Any]) -> List[TrialSpec]:
     """Reconstruct a config entry's :class:`TrialSpec` list exactly.
 
     Rebuilds the specs the way
@@ -235,7 +249,7 @@ def specs_for_entry(entry: dict) -> list:
     ]
 
 
-def replay_config(entry: dict, *, workers: int = 1) -> Tuple[str, ...]:
+def replay_config(entry: Dict[str, Any], *, workers: int = 1) -> Tuple[str, ...]:
     """Re-run one recorded configuration; return its trace digests.
 
     Imports the runner lazily: the runner module imports this module for
@@ -258,7 +272,7 @@ def replay_config(entry: dict, *, workers: int = 1) -> Tuple[str, ...]:
     return tuple(report.trace_digest for report in reports)
 
 
-def verify_manifest(manifest: dict, *, workers: int = 1) -> List[str]:
+def verify_manifest(manifest: Dict[str, Any], *, workers: int = 1) -> List[str]:
     """Replay every config entry; return human-readable mismatch lines.
 
     An empty return means the manifest reproduced bit for bit: every

@@ -29,7 +29,18 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass
 from math import floor
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.errors import ConfigError
 
@@ -150,7 +161,7 @@ class WindowSnapshot:
     end: float
     values: Mapping[str, float]
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering (values sorted by instrument name)."""
         return {
             "start": self.start,
@@ -186,7 +197,12 @@ class MetricsRegistry:
     # Instrument access
     # ------------------------------------------------------------------
 
-    def _get_or_create(self, name: str, kind, factory) -> Instrument:
+    def _get_or_create(
+        self,
+        name: str,
+        kind: Type[Instrument],
+        factory: Callable[[], Instrument],
+    ) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = factory()

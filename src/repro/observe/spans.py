@@ -27,9 +27,24 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import asdict, dataclass
-from typing import IO, Deque, Iterator, List, Optional, Tuple
+from pathlib import Path
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.core.search import QueryResult
 
 #: ``ProbeRecord.origin`` values.
 ORIGIN_LINK = "link"
@@ -89,7 +104,7 @@ class ProbeRecord:
     evicted: bool = False
     eviction_cause: Optional[str] = None
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering."""
         return asdict(self)
 
@@ -132,11 +147,11 @@ class QuerySpan:
         self.pool_exhausted = False
         self.completed = False
 
-    def record_probe(self, **fields) -> None:
+    def record_probe(self, **fields: Any) -> None:
         """Append one probe record (``index`` is assigned here)."""
         self.probes.append(ProbeRecord(index=len(self.probes), **fields))
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering (one object per span)."""
         return {
             "query_id": self.query_id,
@@ -198,7 +213,7 @@ class SpanRecorder:
         self.started += 1
         return span
 
-    def finish(self, span: QuerySpan, result) -> None:
+    def finish(self, span: QuerySpan, result: QueryResult) -> None:
         """Seal ``span`` with its :class:`~repro.core.search.QueryResult`."""
         span.satisfied = result.satisfied
         span.results = result.results
@@ -235,7 +250,7 @@ class SpanRecorder:
             count += 1
         return count
 
-    def dump_jsonl(self, path) -> int:
+    def dump_jsonl(self, path: Union[str, Path]) -> int:
         """Write :meth:`to_jsonl` output to ``path``; returns span count."""
         with open(path, "w", encoding="utf-8") as handle:
             return self.to_jsonl(handle)

@@ -293,7 +293,7 @@ class Simulator:
         self._running = True
         profiler = self.profiler
         if profiler is not None:
-            wall_started = time.perf_counter()  # repro: allow-wallclock (profiling)
+            wall_started = time.perf_counter()  # repro: allow-wallclock, allow-effect-kernel-io (profiling)
             sim_started = self._now
         executed = 0
         try:

@@ -4,17 +4,28 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.devtools.lint import main
+import pytest
+
+from repro.devtools.lint import main, parse_rule_selection
 from repro.devtools.linter import iter_python_files, lint_paths
-from repro.devtools.rules import ORDERED_RULES, RULES, VISITOR_FACTORIES
+from repro.devtools.rules import (
+    EFFECT_RULE_IDS,
+    FILE_RULE_IDS,
+    ORDERED_RULES,
+    RULES,
+    VISITOR_FACTORIES,
+)
 
 
 class TestRegistry:
-    def test_five_rules_registered(self):
-        assert sorted(RULES) == ["RD001", "RD002", "RD003", "RD004", "RD005"]
+    def test_ten_rules_registered(self):
+        assert sorted(RULES) == [f"RD{n:03d}" for n in range(1, 11)]
+        assert sorted(FILE_RULE_IDS | EFFECT_RULE_IDS) == sorted(RULES)
 
-    def test_every_rule_has_a_visitor(self):
-        assert sorted(VISITOR_FACTORIES) == sorted(RULES)
+    def test_every_per_file_rule_has_a_visitor(self):
+        # The effect rules RD006-RD010 are whole-program: they run in the
+        # effect engine, not as per-file AST visitors.
+        assert sorted(VISITOR_FACTORIES) == sorted(FILE_RULE_IDS)
 
     def test_slugs_are_unique(self):
         slugs = [rule.slug for rule in ORDERED_RULES]
@@ -38,11 +49,18 @@ class TestCli:
         assert "RD001" in out
         assert "dirty.py:2" in out
 
-    def test_syntax_error_exits_one(self, tmp_path: Path, capsys):
+    def test_syntax_error_exits_two(self, tmp_path: Path, capsys):
         target = tmp_path / "broken.py"
         target.write_text("def broken(:\n", encoding="utf-8")
-        assert main([str(target)]) == 1
+        assert main([str(target)]) == 2
         assert "syntax error" in capsys.readouterr().out
+
+    def test_errors_take_precedence_over_findings(self, tmp_path: Path, capsys):
+        (tmp_path / "dirty.py").write_text(
+            "import random\nx = random.random()\n", encoding="utf-8"
+        )
+        (tmp_path / "broken.py").write_text("def broken(:\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 2
 
     def test_directory_expansion_skips_pycache(self, tmp_path: Path):
         (tmp_path / "pkg").mkdir()
@@ -78,3 +96,109 @@ class TestCli:
 
     def test_no_paths_is_usage_error(self, capsys):
         assert main([]) == 2
+
+
+class TestRuleSelection:
+    def test_single_ids_and_ranges(self):
+        assert parse_rule_selection("RD001,RD003") == {"RD001", "RD003"}
+        assert parse_rule_selection("RD006-RD010") == {
+            "RD006",
+            "RD007",
+            "RD008",
+            "RD009",
+            "RD010",
+        }
+        assert parse_rule_selection("rd001-rd002,RD005") == {
+            "RD001",
+            "RD002",
+            "RD005",
+        }
+
+    def test_bad_tokens_raise(self):
+        for spec in ("RD999", "RD005-RD001", "bogus", ""):
+            with pytest.raises(ValueError):
+                parse_rule_selection(spec)
+
+    def test_unknown_rule_spec_exits_two(self, tmp_path: Path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main(["--rules", "RD999", str(target)]) == 2
+
+    def test_rule_subset_skips_other_findings(self, tmp_path: Path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import random\nx = random.random()\n", encoding="utf-8"
+        )
+        # RD001 would fire; restricting to RD002 must come back clean.
+        assert main(["--rules", "RD002", str(target)]) == 0
+
+
+class TestEffectsCli:
+    def test_effect_rules_clean_outside_repro_packages(
+        self, tmp_path: Path, capsys
+    ):
+        # Files that are not importable as repro.* are out of every
+        # contract's scope.
+        target = tmp_path / "script.py"
+        target.write_text("x = open('f').read()\n", encoding="utf-8")
+        assert main(["--rules", "RD006-RD010", str(target)]) == 0
+
+    def test_effect_violation_exits_one(self, tmp_path: Path, capsys):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        target = pkg / "leaky.py"
+        target.write_text(
+            "def dump(state):\n    return open('x', 'w').write(state)\n",
+            encoding="utf-8",
+        )
+        assert main(["--rules", "RD010", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RD010" in out
+        assert "leaky.py:2" in out
+
+    def test_effects_report_requires_effect_rules(self, tmp_path: Path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main(["--rules", "RD001", "--effects-report", str(target)]) == 2
+
+    def test_effects_report_written_to_file(self, tmp_path: Path, capsys):
+        pkg = tmp_path / "repro" / "analysis"
+        pkg.mkdir(parents=True)
+        (pkg / "stats.py").write_text(
+            "def mean(xs):\n    return sum(xs) / len(xs)\n", encoding="utf-8"
+        )
+        report = tmp_path / "effects.tsv"
+        assert (
+            main(
+                [
+                    "--rules",
+                    "RD006-RD010",
+                    "--effects-report",
+                    str(report),
+                    str(pkg),
+                ]
+            )
+            == 0
+        )
+        assert "function\teffects\tdirect" in report.read_text(encoding="utf-8")
+
+    def test_bad_contract_file_exits_two(self, tmp_path: Path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        contracts = tmp_path / "contracts.toml"
+        contracts.write_text(
+            '[[contract]]\nrule = "RD042"\n', encoding="utf-8"
+        )
+        assert (
+            main(
+                [
+                    "--rules",
+                    "RD006-RD010",
+                    "--contracts",
+                    str(contracts),
+                    str(pkg),
+                ]
+            )
+            == 2
+        )

@@ -1,0 +1,111 @@
+"""Effect-contract fixture corpus: RD006-RD010 fire exactly as seeded.
+
+Each file under ``effect_cases/`` is a miniature *program* (one or more
+modules) stored with a ``.py.txt`` extension so the repository self-lint
+never walks it:
+
+* a header before the first section, containing
+  ``# expect: RD006:repro.observe.support:2 ...`` — the exact
+  ``rule:module:line`` findings the contract check must produce (empty or
+  bare ``# expect:`` = must be clean);
+* one or more ``# === module: <dotted name>`` sections; the section body
+  is the module source, and finding lines are numbered *within* the
+  section (first line after the marker is line 1).
+
+The corpus runs against the **committed** ``effect_contracts.toml``, so
+it doubles as a regression test of the real contract scopes: every rule
+has at least one firing fixture and one clean twin.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.devtools.effects import analyze_sources
+from repro.devtools.effects.contracts import Baseline, load_contracts
+from repro.devtools.rules import EFFECT_RULE_IDS
+
+CASES_DIR = Path(__file__).parent / "effect_cases"
+CASE_FILES = sorted(CASES_DIR.glob("*.py.txt"))
+
+_SECTION_RE = re.compile(r"^#\s*===\s*module:\s*(\S+)\s*$")
+_EXPECT_RE = re.compile(r"^#\s*expect:\s*(.*)$")
+
+
+def virtual_path(module: str) -> str:
+    """The on-disk path a fixture module pretends to live at."""
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def load_case(
+    path: Path,
+) -> Tuple[Dict[str, Tuple[str, str]], List[Tuple[str, str, int]]]:
+    """Parse one fixture into ``(sources, expected findings)``."""
+    expected: List[Tuple[str, str, int]] = []
+    sources: Dict[str, Tuple[str, str]] = {}
+    current_module = None
+    current_lines: List[str] = []
+
+    def flush() -> None:
+        if current_module is not None:
+            sources[current_module] = (
+                virtual_path(current_module),
+                "\n".join(current_lines) + "\n",
+            )
+
+    for line in path.read_text(encoding="utf-8").splitlines():
+        section = _SECTION_RE.match(line)
+        if section:
+            flush()
+            current_module = section.group(1)
+            current_lines = []
+            continue
+        if current_module is None:
+            expect = _EXPECT_RE.match(line)
+            if expect:
+                for token in expect.group(1).split():
+                    rule_id, module, lineno = token.rsplit(":", 2)
+                    expected.append((rule_id, module, int(lineno)))
+            continue
+        current_lines.append(line)
+    flush()
+    assert sources, f"{path.name}: no '# === module:' sections"
+    return sources, sorted(expected)
+
+
+def test_corpus_covers_every_effect_rule():
+    """Each of RD006-RD010 has at least one firing fixture and the corpus
+    has at least one clean twin per rule family."""
+    firing = set()
+    for case in CASE_FILES:
+        _, expected = load_case(case)
+        firing.update(rule_id for rule_id, _, _ in expected)
+    assert firing >= set(EFFECT_RULE_IDS)
+    clean = [c for c in CASE_FILES if not load_case(c)[1]]
+    assert len(clean) >= 5, "expected a clean twin per rule family"
+
+
+@pytest.mark.parametrize(
+    "case", CASE_FILES, ids=lambda p: p.name[: -len(".py.txt")]
+)
+def test_effect_fixture(case: Path):
+    sources, expected = load_case(case)
+    result = analyze_sources(
+        sources,
+        contracts=load_contracts(),
+        baseline=Baseline(),
+        rule_ids=set(EFFECT_RULE_IDS),
+    )
+    assert result.errors == [], result.errors
+    path_to_module = {path: mod for mod, (path, _) in sources.items()}
+    got = sorted(
+        (v.rule.id, path_to_module[v.path], v.line) for v in result.violations
+    )
+    assert got == expected, "\n".join(
+        ["findings diverged from the # expect: header:"]
+        + [v.render() for v in result.violations]
+    )

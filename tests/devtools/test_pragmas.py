@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import ast
+
 import pytest
 
-from repro.devtools.pragmas import PragmaError, PragmaIndex, parse_pragma_comment
+from repro.devtools.pragmas import (
+    PragmaError,
+    PragmaIndex,
+    SuppressionIndex,
+    parse_pragma_comment,
+    statement_extents,
+)
 
 
 class TestParsePragmaComment:
@@ -63,3 +71,46 @@ class TestPragmaIndex:
     def test_unparseable_source_yields_empty_index(self):
         index = PragmaIndex.from_source("def broken(:\n    '")
         assert index.lines() == {}
+
+
+def suppression_index(source: str) -> SuppressionIndex:
+    return SuppressionIndex.from_source(source, ast.parse(source))
+
+
+class TestSuppressionIndex:
+    def test_pragma_covers_continuation_lines(self):
+        # The visitors report wrapped calls on the line of the offending
+        # sub-expression; a pragma on the statement's first line must
+        # still suppress it.
+        source = (
+            "x = compute(  # repro: allow-wallclock\n"
+            "    time.time(),\n"
+            "    base,\n"
+            ")\n"
+        )
+        index = suppression_index(source)
+        assert index.suppresses("RD002", 1)
+        assert index.suppresses("RD002", 2)
+        assert index.suppresses("RD002", 3)
+
+    def test_compound_header_covered_but_not_body(self):
+        source = (
+            "for item in iterate(  # repro: allow-unordered-iter\n"
+            "    graph.edges\n"
+            "):\n"
+            "    handle(item)\n"
+        )
+        index = suppression_index(source)
+        assert index.suppresses("RD003", 2)
+        # A header pragma never blankets the loop body.
+        assert not index.suppresses("RD003", 4)
+
+    def test_single_line_statements_unaffected(self):
+        source = "x = 1  # repro: allow-wallclock\ny = 2\n"
+        index = suppression_index(source)
+        assert index.suppresses("RD002", 1)
+        assert not index.suppresses("RD002", 2)
+
+    def test_extents_skip_single_line_statements(self):
+        tree = ast.parse("x = 1\ny = 2\n")
+        assert statement_extents(tree) == []
