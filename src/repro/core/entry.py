@@ -44,13 +44,18 @@ class CacheEntry:
     num_res: int = 0
 
     def copy(self) -> "CacheEntry":
-        """An independent copy, as carried in a Pong message."""
-        return CacheEntry(
-            address=self.address,
-            ts=self.ts,
-            num_files=self.num_files,
-            num_res=self.num_res,
-        )
+        """An independent copy, as carried in a Pong message.
+
+        Spelled via ``__new__`` + direct slot stores: pong construction
+        copies ``PongSize`` entries per ping on the hot path, and
+        skipping dataclass ``__init__`` roughly halves the cost.
+        """
+        clone = object.__new__(CacheEntry)
+        clone.address = self.address
+        clone.ts = self.ts
+        clone.num_files = self.num_files
+        clone.num_res = self.num_res
+        return clone
 
     def copy_for_import(self, reset_num_results: bool) -> "CacheEntry":
         """Copy used when ingesting an entry learned from another peer.

@@ -13,6 +13,22 @@ paper's rules, all enforced here:
   big-library peers resident);
 * entries found dead (probe timeout) are evicted immediately, which is
   why caches often run below capacity (paper Table 3 discussion).
+
+Storage layout
+--------------
+
+Entries live in an append-only **slot list** with eviction tombstoning
+(the same pattern as :class:`~repro.core.live_index.LiveAddressIndex`),
+plus a small ``address -> slot`` index for O(1) membership.  The live
+subsequence of the slot list is exactly the insertion order the old
+dict-backed spelling iterated in — dicts preserve insertion order
+across deletions, and both layouts append re-insertions at the end — so
+policy inputs (and hence the golden trace digests) are bit-identical.
+The list is compacted when tombstones outnumber live entries (once it
+has outgrown ``capacity``), bounding it at ~2x capacity however long
+churn runs; iteration touches one flat, mostly-dense object array
+instead of hash-table buckets — and when there are no tombstones at
+all, the snapshot/iteration paths hand back the dense list directly.
 """
 
 from __future__ import annotations
@@ -35,32 +51,39 @@ class LinkCache:
             owner are silently refused.
     """
 
-    __slots__ = ("capacity", "owner", "_entries")
+    __slots__ = ("capacity", "owner", "_slots", "_index", "_live")
 
     def __init__(self, capacity: int, owner: Address) -> None:
         if capacity < 1:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.owner = owner
-        self._entries: Dict[Address, CacheEntry] = {}
+        #: Append-only entry slots; evicted entries tombstone to None.
+        self._slots: List[Optional[CacheEntry]] = []
+        #: address -> index into ``_slots`` for the live entry.
+        self._index: Dict[Address, int] = {}
+        self._live = 0
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._live
 
     def __contains__(self, address: Address) -> bool:
-        return address in self._entries
+        return address in self._index
 
     def get(self, address: Address) -> Optional[CacheEntry]:
         """The entry for ``address``, or None."""
-        return self._entries.get(address)
+        idx = self._index.get(address)
+        return None if idx is None else self._slots[idx]
 
     def entries(self) -> List[CacheEntry]:
         """Snapshot list of entries (insertion-ordered)."""
-        return list(self._entries.values())
+        if self._live == len(self._slots):
+            return list(self._slots)  # type: ignore[arg-type]
+        return [e for e in self._slots if e is not None]
 
     def iter_entries(self) -> Iterable[CacheEntry]:
         """Live view of the entries (insertion-ordered), no copy.
@@ -68,19 +91,38 @@ class LinkCache:
         For read-only hot paths (health sampling); callers must not
         mutate the cache while iterating — use :meth:`entries` for that.
         """
-        return self._entries.values()
+        if self._live == len(self._slots):
+            return self._slots  # type: ignore[return-value]
+        return (e for e in self._slots if e is not None)
 
     def addresses(self) -> Iterator[Address]:
-        """Iterate over cached addresses."""
-        return iter(self._entries.keys())
+        """Iterate over cached addresses (insertion-ordered)."""
+        return (e.address for e in self._slots if e is not None)
 
     @property
     def is_full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return self._live >= self.capacity
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+
+    def _append(self, entry: CacheEntry) -> None:
+        self._index[entry.address] = len(self._slots)
+        self._slots.append(entry)
+        self._live += 1
+
+    def _drop_slot(self, address: Address) -> None:
+        idx = self._index.pop(address)
+        self._slots[idx] = None
+        self._live -= 1
+        # Compact when tombstones dominate (and the list has outgrown
+        # capacity — below that, filtering is pure churn).
+        slots = self._slots
+        if len(slots) > self.capacity and self._live * 2 < len(slots):
+            live = [e for e in slots if e is not None]
+            self._slots = live
+            self._index = {e.address: i for i, e in enumerate(live)}
 
     def insert(
         self,
@@ -100,46 +142,55 @@ class LinkCache:
         address = entry.address
         if address == self.owner:
             return False
-        if address in self._entries:
+        if address in self._index:
             # Paper: fields of an existing entry are not updated from pongs.
             return False
-        if len(self._entries) < self.capacity:
-            self._entries[address] = entry
+        if self._live < self.capacity:
+            self._append(entry)
             return True
         # Full: the incoming entry competes with residents for a slot.
         # choose_victim_from picks the same victim choose_victim would
         # over list(residents) + [entry], minus the combined-list copy.
         victim = replacement.choose_victim_from(
-            self._entries.values(), len(self._entries), entry, now, rng
+            self.iter_entries(), self._live, entry, now, rng
         )
         if victim is None or victim.address == address:
             return False
-        del self._entries[victim.address]
-        self._entries[address] = entry
+        self._drop_slot(victim.address)
+        self._append(entry)
         return True
 
     def evict(self, address: Address) -> bool:
         """Remove ``address`` (dead peer, refused probe); True if present."""
-        return self._entries.pop(address, None) is not None
+        if address not in self._index:
+            return False
+        self._drop_slot(address)
+        return True
 
     def touch(self, address: Address, now: float) -> None:
         """Update TS after a direct interaction with ``address`` (no-op if absent)."""
-        entry = self._entries.get(address)
-        if entry is not None:
+        idx = self._index.get(address)
+        if idx is not None:
+            entry = self._slots[idx]
+            assert entry is not None
             entry.touch(now)
 
     def record_results(self, address: Address, num_results: int, now: float) -> None:
         """Reset NumRes for ``address`` after a query reply (no-op if absent)."""
-        entry = self._entries.get(address)
-        if entry is not None:
+        idx = self._index.get(address)
+        if idx is not None:
+            entry = self._slots[idx]
+            assert entry is not None
             entry.record_results(num_results, now)
 
     def clear(self) -> None:
         """Drop all entries."""
-        self._entries.clear()
+        self._slots.clear()
+        self._index.clear()
+        self._live = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"LinkCache(owner={self.owner}, size={len(self._entries)}/"
+            f"LinkCache(owner={self.owner}, size={self._live}/"
             f"{self.capacity})"
         )

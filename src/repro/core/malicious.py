@@ -127,6 +127,8 @@ class MaliciousPeer(GuessPeer):
 
     malicious = True
 
+    __slots__ = ("behavior", "_directory", "_attack_rng")
+
     def __init__(
         self,
         *args,

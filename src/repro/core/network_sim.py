@@ -23,10 +23,9 @@ periodic cache-health samples.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.entry import CacheEntry
-from repro.core.live_index import LiveAddressIndex
 from repro.core.malicious import AttackDirectory, MaliciousPeer
 from repro.core.params import (
     ProtocolParams,
@@ -34,6 +33,7 @@ from repro.core.params import (
     default_cache_seed_size,
 )
 from repro.core.peer import GuessPeer
+from repro.core.peer_store import PeerStore
 from repro.core.policies import PolicySet
 from repro.core.search import execute_query
 from repro.errors import SimulationError
@@ -98,6 +98,11 @@ class GuessSimulation:
             fired event is folded into a digest exposed as
             :attr:`trace_digest`, so two same-``(seed, params)`` runs can
             be asserted bit-for-bit identical.
+        scheduler: engine event-queue structure — ``"heap"`` (the
+            reference oracle) or ``"wheel"`` (the timing wheel; use it
+            for large populations).  Both fire events in exactly the
+            same order, so the choice never affects results — only
+            wall-clock (see :mod:`repro.sim.wheel`).
         observe: optional :class:`~repro.observe.plan.ObservationPlan`
             attaching query-span recording and/or a shared metrics
             registry.  ``None`` or a no-op plan builds no observers and
@@ -129,11 +134,12 @@ class GuessSimulation:
         latency=None,
         faults: Optional[FaultPlan] = None,
         trace_hash: bool = False,
+        scheduler: str = "heap",
         observe: Optional[ObservationPlan] = None,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
-        self.engine = Simulator(trace_hash=trace_hash)
+        self.engine = Simulator(trace_hash=trace_hash, scheduler=scheduler)
         self.rng = RngRegistry(seed)
         self.faults = FaultInjector.from_plan(faults, self.rng)
         # None for a missing/no-op plan: the hot paths below then carry
@@ -177,11 +183,11 @@ class GuessSimulation:
         self._allocator = AddressAllocator()
         ghosts = self._allocator.allocate_many(GHOST_ADDRESS_COUNT)
         self.directory = AttackDirectory(ghost_addresses=ghosts)
-        self._peers: Dict[Address, GuessPeer] = {}
-        # Mirrors _peers' key order; gives _pick_friend O(log n) sampling
-        # without rebuilding an address list per churn event.
-        self._live_index = LiveAddressIndex()
-        self._harvested: set[Address] = set()
+        # Struct-of-arrays peer registry: the live-peer object map plus
+        # scalar columns (alive/role/harvested flags, file counts,
+        # capacities) indexed by dense address — the hot membership
+        # checks below are bytearray loads, not dict/set hashing.
+        self._store = PeerStore(reserve=GHOST_ADDRESS_COUNT)
         self._health_interval = health_sample_interval
         self._reported = False
         self._bootstrap()
@@ -211,18 +217,23 @@ class GuessSimulation:
         return self.observation.registry if self.observation is not None else None
 
     @property
+    def store(self) -> PeerStore:
+        """The struct-of-arrays peer registry."""
+        return self._store
+
+    @property
     def live_peers(self) -> List[GuessPeer]:
         """All currently live peers."""
-        return list(self._peers.values())
+        return self._store.live_peers()
 
     @property
     def live_good_peers(self) -> List[GuessPeer]:
         """Currently live protocol-following peers."""
-        return [p for p in self._peers.values() if not p.malicious]
+        return [p for p in self._store.values() if not p.malicious]
 
     def peer(self, address: Address) -> Optional[GuessPeer]:
         """The live peer at ``address``, or None."""
-        return self._peers.get(address)
+        return self._store.get(address)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -249,7 +260,8 @@ class GuessSimulation:
             # Sorted so cache contents (hence ping-target order) never
             # depend on set iteration order.
             for address in sorted(picked):
-                target = self._peers[address]
+                target = self._store.get(address)
+                assert target is not None  # seeded from the live roster
                 entry = CacheEntry(
                     address=address,
                     ts=0.0,
@@ -323,8 +335,7 @@ class GuessSimulation:
         else:
             peer = GuessPeer(address, **common)
 
-        self._peers[address] = peer
-        self._live_index.add(address)
+        self._store.add(peer)
         self.transport.register(address, peer)
         self.directory.record_birth(address, malicious)
         if is_rebirth:
@@ -387,10 +398,8 @@ class GuessSimulation:
         """Depart silently; a replacement is born in the same instant."""
         now = self.engine.now
         address = peer.address
-        if address not in self._peers:  # already handled (defensive)
+        if self._store.remove(address) is None:  # already handled (defensive)
             return
-        del self._peers[address]
-        self._live_index.discard(address)
         self.transport.unregister(address)
         self.directory.record_death(address)
         self.collector.record_death(now)
@@ -413,21 +422,21 @@ class GuessSimulation:
     def _pick_friend(self) -> Optional[GuessPeer]:
         """One uniformly random live peer (the newborn's "friend").
 
-        The live index mirrors ``_peers``' insertion order, so the k-th
-        live address equals ``list(self._peers.keys())[k]`` without the
-        O(n) list rebuild — same RNG draw, same friend, same digest.
+        The store's live index mirrors the peer map's insertion order,
+        so the k-th live address equals ``list(peers.keys())[k]``
+        without the O(n) list rebuild — same RNG draw, same friend,
+        same digest.
         """
-        count = len(self._live_index)
+        count = len(self._store)
         if not count:
             return None
         k = self.rng.stream("topology").randrange(count)
-        return self._peers[self._live_index.kth(k)]
+        return self._store.kth_live(k)
 
     def _harvest(self, peer: GuessPeer) -> None:
         """Absorb a peer's lifetime counters exactly once."""
-        if peer.address in self._harvested:
+        if not self._store.mark_harvested(peer.address):
             return
-        self._harvested.add(peer.address)
         self.collector.harvest_peer(
             peer.address, peer.probes_received, peer.probes_refused
         )
@@ -558,15 +567,20 @@ class GuessSimulation:
         the old list-then-``sum`` spelling.
         """
         now = self.engine.now
-        live = self._peers
-        bad = self.directory.live_malicious
+        # SoA columns: liveness/role per cache entry is a bytearray load
+        # on the dense address, not a dict/set hash probe.  A live
+        # address is in ``live_malicious`` exactly when its (immutable)
+        # role column says malicious, so the counts — and the digest —
+        # are unchanged.
+        alive = self._store.alive_column
+        mal = self._store.malicious_column
         fraction_sum = 0.0
         fraction_n = 0
         absolute_sum = 0.0
         good_sum = 0.0
         fill_sum = 0.0
         sampled = 0
-        for peer in live.values():
+        for peer in self._store.values():
             if peer.malicious:
                 continue
             sampled += 1
@@ -577,9 +591,10 @@ class GuessSimulation:
             live_count = 0
             good_count = 0
             for entry in cache.iter_entries():
-                if entry.address in live:
+                address = entry.address
+                if alive[address]:
                     live_count += 1
-                    if entry.address not in bad:
+                    if not mal[address]:
                         good_count += 1
             fill_sum += float(size)
             fraction_sum += live_count / size
@@ -621,7 +636,17 @@ class GuessSimulation:
         if self._reported:
             raise SimulationError("report() may only be called once per run")
         self._reported = True
-        for peer in self._peers.values():
+        registry = self.metrics_registry
+        if registry is not None:
+            # Scheduler hygiene telemetry (satisfies the invisibility
+            # contract trivially: gauges are read-and-set after the run).
+            registry.gauge("engine_pending").set(self.engine.pending)
+            registry.gauge("engine_tombstones").set(self.engine.tombstones)
+            registry.gauge("engine_cancelled_ratio").set(
+                self.engine.cancelled_ratio
+            )
+            registry.gauge("engine_compactions").set(self.engine.compactions)
+        for peer in self._store.values():
             self._harvest(peer)
         self.collector.record_transport(
             probes_sent=self.transport.probes_sent,
@@ -633,15 +658,15 @@ class GuessSimulation:
 
     def snapshot_overlay(self) -> OverlaySnapshot:
         """The conceptual overlay among currently live peers."""
-        live = set(self._peers.keys())
+        live = set(self._store.addresses())
         contents = {
-            address: list(peer.link_cache.addresses())
-            for address, peer in self._peers.items()
+            peer.address: list(peer.link_cache.addresses())
+            for peer in self._store.values()
         }
         return OverlaySnapshot.from_caches(live, contents)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"GuessSimulation(n={self.system.network_size}, "
-            f"t={self.engine.now:.0f}s, live={len(self._peers)})"
+            f"t={self.engine.now:.0f}s, live={len(self._store)})"
         )

@@ -53,6 +53,31 @@ class GuessPeer:
     #: metrics without isinstance checks on the hot path.
     malicious: bool = False
 
+    # At million-peer scale the per-peer ``__dict__`` (~100 bytes each,
+    # plus boxed values) dominates RSS; fixed slots cut the per-peer
+    # footprint roughly in half and make attribute reads a fixed-offset
+    # load.  Scalar per-peer state additionally lives in the
+    # struct-of-arrays columns of :class:`~repro.core.peer_store.PeerStore`.
+    __slots__ = (
+        "address",
+        "num_files",
+        "library",
+        "birth_time",
+        "death_time",
+        "protocol",
+        "policies",
+        "link_cache",
+        "_limiter",
+        "_policy_rng",
+        "_intro_rng",
+        "defense",
+        "probes_received",
+        "probes_refused",
+        "pings_received",
+        "queries_received",
+        "results_served",
+    )
+
     def __init__(
         self,
         address: Address,

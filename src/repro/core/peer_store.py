@@ -1,0 +1,204 @@
+"""Struct-of-arrays peer store: scalar columns keyed by dense addresses.
+
+At million-peer scale the simulation's hot membership questions — *is
+this address alive?  is it malicious?  was it harvested?* — were
+answered by hashing into a ``dict``/``set`` per cache entry per health
+sample.  Addresses are dense, monotonically increasing ints that are
+never reused (:mod:`repro.network.address`), which makes them perfect
+array indices: :class:`PeerStore` keeps one **byte/scalar column per
+fact**, so the same questions become fixed-offset ``bytearray`` loads
+with no hashing, no boxed key objects, and ~1 byte per peer per fact of
+RSS instead of hash-table slots.
+
+Columns (all indexed by address):
+
+* ``alive`` — 1 while the peer is live; cleared at death, never reused.
+* ``malicious`` — the peer's (immutable) role; meaningful whenever the
+  address was ever registered.  "Live and good" is therefore
+  ``alive[a] and not malicious[a]``, exactly the
+  ``a in live_peers and a not in live_malicious`` double lookup it
+  replaces (roles never change and addresses are never recycled).
+* ``harvested`` — lifetime counters absorbed exactly once per peer.
+* ``num_files`` / ``capacity`` — advertised file count and probe-rate
+  capacity, the scalar columns the intra-trial sharding work
+  (ROADMAP item 2) will exchange instead of peer objects.
+
+The store also owns the live-peer **object map** (a ``dict`` preserving
+birth order — iteration order is digest-load-bearing for health
+sampling) and the Fenwick-backed
+:class:`~repro.core.live_index.LiveAddressIndex` used for O(log n)
+uniform friend sampling.  Everything stays bit-identical to the
+dict/set spelling: columns only change *how* membership is answered,
+never *what* the answer is, and the golden trace digests in
+``tests/integration`` pin that.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.live_index import LiveAddressIndex
+from repro.core.peer import GuessPeer
+from repro.network.address import Address
+
+#: Column growth is chunked so repeated single-address growth does not
+#: reallocate per peer (lists/bytearrays over-allocate, but the chunk
+#: makes the worst case explicit).
+_GROW_CHUNK = 256
+
+
+class PeerStore:
+    """Live-peer registry with struct-of-arrays scalar columns.
+
+    Args:
+        reserve: number of already-allocated addresses to cover from the
+            start (the simulation's ghost-address block), so every
+            column lookup for an allocated address is in bounds.
+
+    The dense-address invariant: every address that can ever appear in
+    a cache entry was handed out by the simulation's single allocator,
+    and the simulation registers every allocated address (ghosts via
+    ``reserve`` / :meth:`note_ghost`, peers via :meth:`add` at birth)
+    before it can circulate — so column reads never need a bounds
+    check.
+    """
+
+    __slots__ = (
+        "_peers",
+        "_live_index",
+        "_alive",
+        "_malicious",
+        "_harvested",
+        "_num_files",
+        "_capacity",
+    )
+
+    def __init__(self, reserve: int = 0) -> None:
+        self._peers: Dict[Address, GuessPeer] = {}
+        self._live_index = LiveAddressIndex()
+        self._alive = bytearray(reserve)
+        self._malicious = bytearray(reserve)
+        self._harvested = bytearray(reserve)
+        self._num_files = array("l", bytes(8 * reserve)) if reserve else array("l")
+        self._capacity = array("l", bytes(8 * reserve)) if reserve else array("l")
+
+    # ------------------------------------------------------------------
+    # Column management
+    # ------------------------------------------------------------------
+
+    def _ensure(self, address: Address) -> None:
+        """Grow every column to cover ``address`` (chunked)."""
+        have = len(self._alive)
+        if address < have:
+            return
+        grow = address + 1 - have + _GROW_CHUNK
+        self._alive.extend(bytes(grow))
+        self._malicious.extend(bytes(grow))
+        self._harvested.extend(bytes(grow))
+        zeros = array("l", bytes(self._num_files.itemsize * grow))
+        self._num_files.extend(zeros)
+        self._capacity.extend(zeros)
+
+    def note_ghost(self, address: Address) -> None:
+        """Cover an allocated-but-never-born address (stays dead)."""
+        self._ensure(address)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self._peers
+
+    def get(self, address: Address) -> Optional[GuessPeer]:
+        """The live peer at ``address``, or None."""
+        return self._peers.get(address)
+
+    def values(self) -> Iterator[GuessPeer]:
+        """Live peers in birth order (the digest-load-bearing order)."""
+        return iter(self._peers.values())
+
+    def live_peers(self) -> List[GuessPeer]:
+        """Snapshot list of live peers in birth order."""
+        return list(self._peers.values())
+
+    def addresses(self) -> Iterator[Address]:
+        """Live addresses in birth order."""
+        return iter(self._peers.keys())
+
+    @property
+    def alive_column(self) -> bytearray:
+        """The alive-flag column (read-only use; index by address)."""
+        return self._alive
+
+    @property
+    def malicious_column(self) -> bytearray:
+        """The role column (read-only use; index by address)."""
+        return self._malicious
+
+    def is_alive(self, address: Address) -> bool:
+        """True while ``address`` hosts a live peer."""
+        return bool(self._alive[address])
+
+    def is_live_good(self, address: Address) -> bool:
+        """True for a live, protocol-following peer."""
+        return bool(self._alive[address]) and not self._malicious[address]
+
+    def num_files_of(self, address: Address) -> int:
+        """Advertised shared-file count (0 for ghosts/unregistered)."""
+        return self._num_files[address]
+
+    def capacity_of(self, address: Address) -> int:
+        """Probe-rate capacity column (0 = unlimited/unregistered)."""
+        return self._capacity[address]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def add(self, peer: GuessPeer) -> None:
+        """Register a newborn peer and populate its scalar columns."""
+        address = peer.address
+        self._ensure(address)
+        self._peers[address] = peer
+        self._live_index.add(address)
+        self._alive[address] = 1
+        if peer.malicious:
+            self._malicious[address] = 1
+        self._num_files[address] = peer.num_files
+        limiter = peer._limiter
+        self._capacity[address] = limiter.limit if limiter is not None else 0
+
+    def remove(self, address: Address) -> Optional[GuessPeer]:
+        """Unregister a departing peer; returns it (None if absent)."""
+        peer = self._peers.pop(address, None)
+        if peer is None:
+            return None
+        self._live_index.discard(address)
+        self._alive[address] = 0
+        return peer
+
+    def mark_harvested(self, address: Address) -> bool:
+        """Record counter harvest; True the first time, False after."""
+        if self._harvested[address]:
+            return False
+        self._harvested[address] = 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def kth_live(self, k: int) -> GuessPeer:
+        """The k-th live peer (0-based) in birth order, O(log n)."""
+        return self._peers[self._live_index.kth(k)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeerStore(live={len(self._peers)}, "
+            f"columns={len(self._alive)})"
+        )

@@ -123,6 +123,9 @@ class TrialSpec:
         faults: optional fault plan (frozen, hence picklable); ``None``
             or an all-zeros plan runs the fault-free code path.
         trace_hash: enable the engine's determinism sanitizer.
+        scheduler: engine event-queue structure (``"heap"`` or
+            ``"wheel"``); either fires events in exactly the same order,
+            so this knob trades wall-clock only, never results.
         chaos: optional crash injection (:class:`ChaosSpec`); fires in
             :func:`execute_trial` before the simulation exists, so a
             surviving attempt's report is untouched by it.
@@ -137,6 +140,7 @@ class TrialSpec:
     health_sample_interval: Optional[float] = 60.0
     faults: Optional[FaultPlan] = None
     trace_hash: bool = False
+    scheduler: str = "heap"
     chaos: Optional[ChaosSpec] = None
 
 
@@ -153,6 +157,7 @@ def execute_trial(spec: TrialSpec) -> SimulationReport:
         health_sample_interval=spec.health_sample_interval,
         faults=spec.faults,
         trace_hash=spec.trace_hash,
+        scheduler=spec.scheduler,
     )
     # Profiling hook: when a profiler is active in this process, the
     # engine reports this trial's (events, wall, sim-seconds) sample.

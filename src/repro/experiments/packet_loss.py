@@ -70,6 +70,7 @@ def _measure_cell(
     loss: float,
     retries: int,
     executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
 ) -> Dict[str, float]:
     """Run one (loss rate, retry budget) cell and fold its metrics."""
     protocol = ProtocolParams(probe_retries=retries)
@@ -82,6 +83,7 @@ def _measure_cell(
         base_seed=BASE_SEED,
         faults=FaultPlan(loss_rate=loss),
         executor=executor,
+        scheduler=scheduler,
     )
     return {
         "satisfied": averaged(reports, "satisfaction_rate"),
@@ -96,21 +98,27 @@ def _measure_cell(
 
 
 def _sweep(
-    profile: Profile, executor: TrialExecutor | None = None
+    profile: Profile,
+    executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
 ) -> Dict[Tuple[float, int], Dict[str, float]]:
     """The full loss × retry grid, cells in deterministic sweep order."""
     return {
-        (loss, retries): _measure_cell(profile, loss, retries, executor)
+        (loss, retries): _measure_cell(
+            profile, loss, retries, executor, scheduler
+        )
         for retries in RETRY_BUDGETS
         for loss in LOSS_RATES
     }
 
 
 def run_loss_grid(
-    profile: Profile, executor: TrialExecutor | None = None
+    profile: Profile,
+    executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
 ) -> List[ExperimentResult]:
     """Both results from one grid sweep (the cells are shared)."""
-    cells = _sweep(profile, executor)
+    cells = _sweep(profile, executor, scheduler)
     rows = tuple(
         (
             loss,
@@ -171,17 +179,19 @@ def run_suite(
     profile: Profile,
     workers: int = 1,
     executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
 ) -> List[ExperimentResult]:
     """``loss_grid`` and ``loss_satisfaction``.
 
     An explicit ``executor`` (e.g. the supervised executor shared by
     ``run_all --supervise``) overrides ``workers`` and stays open for
-    the caller to close.
+    the caller to close.  ``scheduler`` picks the engine event queue
+    per trial ("heap" or "wheel"); results are identical either way.
     """
     if executor is None:
         with get_executor(workers) as owned:
-            return run_suite(profile, executor=owned)
-    return run_loss_grid(profile, executor)
+            return run_suite(profile, executor=owned, scheduler=scheduler)
+    return run_loss_grid(profile, executor, scheduler)
 
 
 def _render(results: List[ExperimentResult]) -> str:
@@ -215,6 +225,15 @@ def main(argv: List[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--scheduler",
+        default="heap",
+        choices=("heap", "wheel"),
+        help=(
+            "engine event queue per trial (default: heap); the wheel is "
+            "faster at scale and fires events in exactly the same order"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="also write the rendered results to this file",
@@ -227,15 +246,19 @@ def main(argv: List[str] | None = None) -> int:
     if args.verify_parallel:
         if args.workers == 1:
             parser.error("--verify-parallel needs --workers N (N != 1)")
-        serial = _render(run_suite(profile, workers=1))
-        parallel = _render(run_suite(profile, workers=args.workers))
+        serial = _render(run_suite(profile, workers=1, scheduler=args.scheduler))
+        parallel = _render(
+            run_suite(profile, workers=args.workers, scheduler=args.scheduler)
+        )
         if serial != parallel:
             print("FAIL: serial and parallel reports differ", file=sys.stderr)
             return 1
         print(f"serial == workers={args.workers}: reports byte-identical")
         text = serial
     else:
-        text = _render(run_suite(profile, workers=args.workers))
+        text = _render(
+            run_suite(profile, workers=args.workers, scheduler=args.scheduler)
+        )
 
     print(text)
     if args.output:

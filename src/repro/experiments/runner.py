@@ -89,6 +89,7 @@ def run_guess_config(
     workers: int = 1,
     executor: Optional[TrialExecutor] = None,
     trace_hash: bool = False,
+    scheduler: str = "heap",
     chaos: Optional[Mapping[int, ChaosSpec]] = None,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
@@ -118,6 +119,10 @@ def run_guess_config(
             manifest recorder is active, so every recorded configuration
             carries per-trial digests that :func:`replay_config` can
             verify bit for bit.
+        scheduler: engine event-queue structure (``"heap"`` or
+            ``"wheel"``) applied to every trial.  Either fires events in
+            exactly the same order, so sweep results are independent of
+            this knob — big sweeps pick ``"wheel"`` purely for speed.
         chaos: optional ``{trial index: ChaosSpec}`` crash injection for
             supervisor drills — the chosen trials sabotage themselves in
             the worker before their simulation is built.  Ignored on the
@@ -142,6 +147,7 @@ def run_guess_config(
             health_sample_interval=health_sample_interval,
             faults=faults,
             trace_hash=capture,
+            scheduler=scheduler,
             chaos=chaos.get(trial) if chaos is not None else None,
         )
         for trial in range(trials)
@@ -158,6 +164,7 @@ def run_guess_config(
                 health_sample_interval=health_sample_interval,
                 faults=faults,
                 trace_hash=capture,
+                scheduler=scheduler,
             )
             mutate(sim)
             sim.run(warmup + duration)

@@ -1,14 +1,24 @@
 """A deterministic discrete-event simulation engine.
 
-The engine is a binary heap of :class:`~repro.sim.events.Event` records.
-It guarantees:
+The engine is a priority queue of :class:`~repro.sim.events.Event`
+records behind a pluggable scheduler (see :mod:`repro.sim.wheel`):
+``scheduler="heap"`` is the classic binary heap, ``scheduler="wheel"``
+a timing-wheel/calendar queue with O(1) amortized insertion for
+timer-dominated workloads.  Either way the engine guarantees:
 
 * events fire in nondecreasing time order;
 * same-time events fire in ``priority`` order, then scheduling order;
 * the clock never moves backwards, and scheduling into the past raises
   :class:`~repro.errors.SimulationError`;
 * cancelled events are skipped lazily (tombstoning), so cancellation is
-  O(1) and does not disturb the heap.
+  O(1) and does not disturb the queue — and when tombstones outnumber
+  live events the scheduler compacts, so mass cancellation never grows
+  the queue unboundedly.
+
+The two schedulers implement the exact same firing-order contract —
+the golden trace digests reproduce bit-for-bit under both — so the
+heap stays available as the reference oracle while the wheel carries
+large-population runs.
 
 The engine knows nothing about peers or protocols — higher layers schedule
 plain callbacks.  This mirrors how the paper's custom simulator is described
@@ -19,7 +29,6 @@ offline environment.
 from __future__ import annotations
 
 import hashlib
-import heapq
 import time
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -27,7 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observe.profiler import Profiler
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventPriority
+from repro.sim.events import EventPriority
+from repro.sim.wheel import make_scheduler
 
 
 class TraceHasher:
@@ -69,27 +79,50 @@ class TraceHasher:
 
 
 class EventHandle:
-    """A cancellation handle for a scheduled event.
+    """A scheduled event and its cancellation handle.
 
-    Cancellation is lazy: the event stays in the heap but is skipped when
-    popped.  ``active`` reports whether the event may still fire.
+    The handle *is* the event record on the hot path: it carries the
+    ``(time, priority, seq)`` sort key, the callback, and the lifecycle
+    flags in one ``__slots__`` object, so scheduling allocates a single
+    object (plus the queue's key tuple) per event.  The equivalent
+    :class:`~repro.sim.events.Event` dataclass remains the documented
+    record format.
+
+    Cancellation is lazy: the event stays in the queue but is skipped
+    when popped.  ``active`` reports whether the event may still fire.
     """
 
-    __slots__ = ("_event", "_cancelled", "_fired")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "action",
+        "label",
+        "args",
+        "_queue",
+        "_cancelled",
+        "_fired",
+    )
 
-    def __init__(self, event: Event) -> None:
-        self._event = event
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[..., Any],
+        label: str,
+        args: tuple,
+        queue: Any = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.args = args
+        self._queue = queue
         self._cancelled = False
         self._fired = False
-
-    @property
-    def time(self) -> float:
-        """Timestamp at which the event is scheduled to fire."""
-        return self._event.time
-
-    @property
-    def label(self) -> str:
-        return self._event.label
 
     @property
     def active(self) -> bool:
@@ -106,6 +139,8 @@ class EventHandle:
         if not self.active:
             return False
         self._cancelled = True
+        if self._queue is not None:
+            self._queue.note_cancel()
         return True
 
 
@@ -124,13 +159,27 @@ class Simulator:
             :class:`TraceHasher` so two same-seed runs can be compared
             via :attr:`trace_digest` (the determinism sanitizer).  Off
             by default — it costs one hash update per event.
+        scheduler: pending-event structure — ``"heap"`` (the classic
+            binary heap, the reference oracle) or ``"wheel"`` (the
+            timing-wheel/calendar queue, O(1) amortized insertion; use
+            it for large populations).  Both fire events in exactly the
+            same order; a scheduler instance from
+            :mod:`repro.sim.wheel` is also accepted.
     """
 
-    def __init__(self, start_time: float = 0.0, *, trace_hash: bool = False) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        *,
+        trace_hash: bool = False,
+        scheduler: str | Any = "heap",
+    ) -> None:
         if start_time < 0:
             raise SimulationError(f"start_time must be >= 0, got {start_time}")
         self._now = float(start_time)
-        self._heap: list[tuple[tuple[float, int, int], EventHandle]] = []
+        self._queue = (
+            make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
         self._seq = 0
         self._running = False
         self._events_executed = 0
@@ -158,8 +207,28 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap, including tombstones."""
-        return len(self._heap)
+        """Number of events still queued, including unpruned tombstones."""
+        return len(self._queue)
+
+    @property
+    def scheduler(self) -> str:
+        """Name of the active scheduler (``"heap"`` or ``"wheel"``)."""
+        return self._queue.name
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events still occupying queue slots (hygiene telemetry)."""
+        return self._queue.tombstones
+
+    @property
+    def compactions(self) -> int:
+        """Tombstone compaction passes the scheduler has performed."""
+        return self._queue.compactions
+
+    @property
+    def cancelled_ratio(self) -> float:
+        """Fraction of pending queue slots held by tombstones."""
+        return self._queue.cancelled_ratio
 
     @property
     def trace_digest(self) -> Optional[str]:
@@ -205,17 +274,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event {label!r} at t={time} before now={self._now}"
             )
-        event = Event(
-            time=float(time),
-            priority=priority,
-            seq=self._seq,
-            action=action,
-            label=label,
-            args=args,
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(
+            float(time), int(priority), seq, action, label, args, self._queue
         )
-        self._seq += 1
-        handle = EventHandle(event)
-        heapq.heappush(self._heap, (event.sort_key(), handle))
+        self._queue.push((handle.time, handle.priority, seq, handle))
         return handle
 
     def schedule_after(
@@ -244,30 +308,27 @@ class Simulator:
 
     def _fire(self, handle: EventHandle) -> None:
         """Advance the clock to ``handle`` and execute it (internal)."""
-        event = handle._event
-        self._now = event.time
+        self._now = handle.time
         handle._fired = True
         self._events_executed += 1
         if self._tracer is not None:
             self._tracer.fold(
-                event.time, int(event.priority), event.seq, event.label
+                handle.time, handle.priority, handle.seq, handle.label
             )
-        event.action(*event.args)
+        handle.action(*handle.args)
 
     def step(self) -> bool:
         """Fire the single next pending event.
 
         Returns:
-            True if an event fired; False if the heap was empty (after
+            True if an event fired; False if the queue was empty (after
             discarding tombstones).
         """
-        while self._heap:
-            _, handle = heapq.heappop(self._heap)
-            if handle._cancelled:
-                continue
-            self._fire(handle)
-            return True
-        return False
+        handle = self._queue.pop_next(float("inf"))
+        if handle is None:
+            return False
+        self._fire(handle)
+        return True
 
     def run_until(self, end_time: float) -> int:
         """Run events with ``time <= end_time``; advance the clock to it.
@@ -296,15 +357,14 @@ class Simulator:
             wall_started = time.perf_counter()  # repro: allow-wallclock, allow-effect-kernel-io (profiling)
             sim_started = self._now
         executed = 0
+        pop_next = self._queue.pop_next
+        fire = self._fire
         try:
-            while self._heap:
-                key, handle = self._heap[0]
-                if key[0] > end_time:
+            while True:
+                handle = pop_next(end_time)
+                if handle is None:
                     break
-                heapq.heappop(self._heap)
-                if handle._cancelled:
-                    continue
-                self._fire(handle)
+                fire(handle)
                 executed += 1
         finally:
             self._running = False
@@ -318,7 +378,7 @@ class Simulator:
         return executed
 
     def run_all(self, max_events: Optional[int] = None) -> int:
-        """Run until the heap is empty (or ``max_events`` is reached).
+        """Run until the queue is empty (or ``max_events`` is reached).
 
         Returns:
             Number of events executed.

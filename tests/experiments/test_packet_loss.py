@@ -130,7 +130,7 @@ class TestCli:
         self, monkeypatch, capsys
     ):
         monkeypatch.setattr(
-            packet_loss, "run_suite", lambda profile, workers=1: self.canned("x")
+            packet_loss, "run_suite", lambda profile, workers=1, **kw: self.canned("x")
         )
         assert packet_loss.main(
             ["--profile", "smoke", "--workers", "2", "--verify-parallel"]
@@ -144,7 +144,7 @@ class TestCli:
         monkeypatch.setattr(
             packet_loss,
             "run_suite",
-            lambda profile, workers=1: self.canned(f"workers={workers}"),
+            lambda profile, workers=1, **kw: self.canned(f"workers={workers}"),
         )
         assert packet_loss.main(
             ["--profile", "smoke", "--workers", "2", "--verify-parallel"]
@@ -157,7 +157,7 @@ class TestCli:
 
     def test_output_file_written(self, monkeypatch, tmp_path):
         monkeypatch.setattr(
-            packet_loss, "run_suite", lambda profile, workers=1: self.canned("x")
+            packet_loss, "run_suite", lambda profile, workers=1, **kw: self.canned("x")
         )
         target = tmp_path / "loss.txt"
         assert packet_loss.main(["--output", str(target)]) == 0

@@ -29,7 +29,8 @@ FULL_OBSERVATION = ObservationPlan(
 def run_once(seed: int, *, percent_bad: float = 0.0,
              behavior: BadPongBehavior = BadPongBehavior.DEAD,
              faults: FaultPlan | None = None, probe_retries: int = 0,
-             observe: ObservationPlan | None = None):
+             observe: ObservationPlan | None = None,
+             scheduler: str = "heap"):
     """One small, full-featured run; returns (digest, report)."""
     sim = GuessSimulation(
         SystemParams(
@@ -42,6 +43,7 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
         faults=faults,
         trace_hash=True,
         observe=observe,
+        scheduler=scheduler,
     )
     sim.run(DURATION)
     report = sim.report()
@@ -134,6 +136,42 @@ class TestGoldenDigests:
         assert report.spurious_timeout_probes > 0
         assert report.probe_retries > 0
         assert report.retry_recovered_probes > 0
+
+
+class TestWheelSchedulerPins:
+    """Every golden pin reproduces under ``scheduler="wheel"``.
+
+    The timing wheel replaces the engine's heap with a calendar queue;
+    its firing-order contract is *bit-for-bit* identity, and these pins
+    are the end-to-end proof: the full protocol stack — churn, pings,
+    query bursts, colluding pongs, packet loss with retries — produces
+    the identical executed-event digest on either scheduler.
+    """
+
+    def test_clean_pin_reproduced_on_wheel(self):
+        digest, report = run_once(7, scheduler="wheel")
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+        assert report.queries > 0
+
+    def test_attack_pin_reproduced_on_wheel(self):
+        digest, _ = run_once(
+            11, percent_bad=10.0, behavior=BadPongBehavior.BAD,
+            scheduler="wheel",
+        )
+        assert digest == "23d74325e25c2c9e44279d38a317edbe"
+
+    def test_loss_retry_pin_reproduced_on_wheel(self):
+        digest, report = run_once(
+            7, faults=FaultPlan(loss_rate=0.05), probe_retries=2,
+            scheduler="wheel",
+        )
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+        assert report.spurious_timeout_probes > 0
+
+    def test_wheel_and_heap_reports_identical(self):
+        _, heap_report = run_once(7)
+        _, wheel_report = run_once(7, scheduler="wheel")
+        assert heap_report == wheel_report
 
 
 class TestObservationInvisibility:

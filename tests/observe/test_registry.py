@@ -190,3 +190,30 @@ class TestWindowSnapshot:
         assert list(rendered["values"]) == ["a", "b"]
         assert rendered["start"] == 0.0
         assert rendered["end"] == 10.0
+
+
+class TestSchedulerHygieneGauges:
+    """``GuessSimulation.report()`` exports the engine's tombstone
+    telemetry (satellite of the timing-wheel PR) into the registry."""
+
+    @pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+    def test_report_sets_engine_gauges(self, scheduler):
+        from repro.core.network_sim import GuessSimulation
+        from repro.core.params import ProtocolParams, SystemParams
+        from repro.observe.plan import ObservationPlan
+
+        sim = GuessSimulation(
+            SystemParams(network_size=40),
+            ProtocolParams(cache_size=10),
+            seed=5,
+            observe=ObservationPlan(registry=True),
+            scheduler=scheduler,
+        )
+        sim.run(60.0)
+        sim.report()
+        totals = sim.metrics_registry.snapshot()
+        assert totals["engine_pending"] == sim.engine.pending
+        assert totals["engine_tombstones"] == sim.engine.tombstones
+        assert totals["engine_cancelled_ratio"] == sim.engine.cancelled_ratio
+        assert totals["engine_compactions"] == sim.engine.compactions
+        assert 0.0 <= totals["engine_cancelled_ratio"] <= 1.0

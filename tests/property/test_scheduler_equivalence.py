@@ -1,0 +1,119 @@
+"""Heap-vs-wheel equivalence: identical fired sequences, always.
+
+The timing wheel's whole contract is that it is *indistinguishable*
+from the reference heap — same events, same order, bit for bit.  The
+golden-digest pins prove it for three specific protocol runs; these
+properties prove it for adversarial schedules hypothesis invents:
+same-tick ties, float bucket boundaries, far-future overflow times,
+mid-run cancellations, and events that schedule more events (including
+at the current instant, the incursion-heap path).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.wheel import TimingWheel
+
+#: Mixes sub-tick floats, exact bucket boundaries (multiples of 0.1 and
+#: 1.0 stress float non-distributivity in the wheel geometry), and
+#: far-future times that exercise the overflow heap.
+times = st.one_of(
+    st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    st.integers(min_value=0, max_value=80).map(lambda i: i * 0.1),
+    st.integers(min_value=0, max_value=50).map(float),
+    st.floats(min_value=1e3, max_value=1e7, allow_nan=False),
+)
+priorities = st.sampled_from(list(EventPriority))
+
+#: One scheduled event: (time, priority, cancel it before it fires?).
+events = st.tuples(times, priorities, st.booleans())
+
+
+def run_schedule(scheduler, schedule, followups):
+    """Fire a schedule on one engine; returns the (time, prio, seq) log.
+
+    ``followups`` drives the dynamic part: event *i* reschedules itself
+    ``followups[i] % 3`` times at deterministic offsets, including 0.0
+    (the same-instant case served by the wheel's incursion heap).
+    """
+    sim = Simulator(scheduler=scheduler)
+    fired = []
+
+    def make_action(index, depth):
+        def action():
+            fired.append((sim.now, index, depth))
+            extra = followups[index % len(followups)] % 3 if followups else 0
+            if depth < extra:
+                offset = (0.0, 0.25, 17.0)[depth]
+                sim.schedule(
+                    sim.now + offset,
+                    make_action(index, depth + 1),
+                    priority=EventPriority(
+                        list(EventPriority)[index % len(EventPriority)]
+                    ),
+                )
+        return action
+
+    for index, (time, priority, cancel) in enumerate(schedule):
+        handle = sim.schedule(time, make_action(index, 0), priority=priority)
+        if cancel:
+            handle.cancel()
+    sim.run_until(math.inf)
+    return fired
+
+
+@given(
+    st.lists(events, max_size=50),
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_wheel_fires_identical_sequence_to_heap(schedule, followups):
+    assert run_schedule("heap", schedule, followups) == run_schedule(
+        "wheel", schedule, followups
+    )
+
+
+@given(st.lists(events, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_static_schedules_identical_without_followups(schedule):
+    assert run_schedule("heap", schedule, []) == run_schedule(
+        "wheel", schedule, []
+    )
+
+
+@given(
+    st.lists(events, max_size=40),
+    st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+    st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_equivalence_holds_for_any_wheel_geometry(schedule, tick, slots):
+    """Tiny rings and awkward ticks force constant overflow migration
+    and slot aliasing; the fired sequence must still match the heap."""
+    wheel = TimingWheel(tick=tick, slots=slots)
+    assert run_schedule("heap", schedule, []) == run_schedule(
+        wheel, schedule, []
+    )
+
+
+@given(st.lists(st.tuples(times, st.booleans()), max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_cancellation_equivalence(schedule):
+    """Cancel-heavy schedules (compaction territory) stay equivalent."""
+    logs = []
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        for index, (time, cancel) in enumerate(schedule):
+            handle = sim.schedule(time, lambda i=index: fired.append(i))
+            if cancel:
+                handle.cancel()
+        sim.run_until(math.inf)
+        logs.append(fired)
+    assert logs[0] == logs[1]

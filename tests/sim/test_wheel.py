@@ -1,0 +1,247 @@
+"""Unit tests for the pluggable schedulers (heap and timing wheel)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import EventPriority
+from repro.sim.wheel import (
+    DEFAULT_SLOTS,
+    DEFAULT_TICK,
+    HeapScheduler,
+    TimingWheel,
+    make_scheduler,
+)
+
+
+def make_item(time, priority=0, seq=None, queue=None):
+    """A queue item with a real EventHandle (seq auto-unique)."""
+    if seq is None:
+        make_item.counter += 1
+        seq = make_item.counter
+    handle = EventHandle(time, priority, seq, lambda: None, "", (), queue)
+    return (time, priority, seq, handle)
+
+
+make_item.counter = 0
+
+
+def drain(sched):
+    """Pop everything (no horizon) and return the handles in order."""
+    out = []
+    while True:
+        handle = sched.pop_next(math.inf)
+        if handle is None:
+            return out
+        out.append(handle)
+
+
+class TestMakeScheduler:
+    def test_heap_by_name(self):
+        assert make_scheduler("heap").name == "heap"
+
+    def test_wheel_by_name(self):
+        assert make_scheduler("wheel").name == "wheel"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheduler("calendar")
+
+    def test_bad_wheel_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingWheel(tick=0.0)
+        with pytest.raises(ConfigError):
+            TimingWheel(tick=math.inf)
+        with pytest.raises(ConfigError):
+            TimingWheel(slots=0)
+
+    def test_default_geometry(self):
+        wheel = TimingWheel()
+        assert wheel._tick == DEFAULT_TICK
+        assert wheel._slots == DEFAULT_SLOTS
+
+
+@pytest.mark.parametrize("factory", [HeapScheduler, TimingWheel])
+class TestOrderingContract:
+    def test_time_order(self, factory):
+        sched = factory()
+        items = [make_item(t) for t in (5.0, 1.0, 3.0, 2.0, 4.0)]
+        for item in items:
+            sched.push(item)
+        assert [h.time for h in drain(sched)] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_same_time_priority_then_seq(self, factory):
+        sched = factory()
+        sched.push(make_item(1.0, priority=2, seq=0))
+        sched.push(make_item(1.0, priority=0, seq=1))
+        sched.push(make_item(1.0, priority=0, seq=2))
+        sched.push(make_item(1.0, priority=1, seq=3))
+        popped = drain(sched)
+        assert [(h.priority, h.seq) for h in popped] == [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 0),
+        ]
+
+    def test_horizon_respected(self, factory):
+        sched = factory()
+        sched.push(make_item(1.0))
+        sched.push(make_item(10.0))
+        assert sched.pop_next(5.0).time == 1.0
+        assert sched.pop_next(5.0) is None
+        assert len(sched) == 1
+        assert sched.pop_next(10.0).time == 10.0
+
+    def test_empty_pop_returns_none(self, factory):
+        assert factory().pop_next(math.inf) is None
+
+    def test_len_tracks_pushes_and_pops(self, factory):
+        sched = factory()
+        for t in (1.0, 2.0, 3.0):
+            sched.push(make_item(t))
+        assert len(sched) == 3
+        sched.pop_next(math.inf)
+        assert len(sched) == 2
+
+
+class TestWheelGeometryPaths:
+    def test_far_future_goes_to_overflow_and_comes_back(self):
+        wheel = TimingWheel(tick=1.0, slots=4)  # ring spans 4 seconds
+        near = make_item(0.5)
+        ring = make_item(2.5)
+        far = make_item(1000.25)
+        farther = make_item(5000.75)
+        for item in (far, ring, farther, near):
+            wheel.push(item)
+        assert [h.time for h in drain(wheel)] == [0.5, 2.5, 1000.25, 5000.75]
+
+    def test_cursor_jump_over_empty_stretch(self):
+        wheel = TimingWheel(tick=1.0, slots=8)
+        wheel.push(make_item(100000.5))
+        assert wheel.pop_next(math.inf).time == 100000.5
+
+    def test_interleaved_push_pop_preserves_order(self):
+        wheel = TimingWheel(tick=1.0, slots=4)
+        wheel.push(make_item(1.5))
+        assert wheel.pop_next(math.inf).time == 1.5
+        # Push into the already-open near window (the incursion path).
+        wheel.push(make_item(1.75))
+        wheel.push(make_item(1.6))
+        wheel.push(make_item(9.0))
+        assert [h.time for h in drain(wheel)] == [1.6, 1.75, 9.0]
+
+    def test_same_instant_reschedule_during_drain(self):
+        # A death event scheduling a birth at the same timestamp is the
+        # protocol's hot case for the incursion heap.
+        sim = Simulator(scheduler="wheel")
+        order = []
+
+        def death():
+            order.append("death")
+            sim.schedule(
+                sim.now, lambda: order.append("birth"),
+                priority=EventPriority.BIRTH,
+            )
+
+        sim.schedule(3.5, death, priority=EventPriority.DEATH)
+        sim.schedule(3.5, lambda: order.append("q"), priority=EventPriority.QUERY)
+        sim.run_until(10.0)
+        assert order == ["death", "birth", "q"]
+
+    def test_infinite_timestamp_served_last(self):
+        wheel = TimingWheel()
+        wheel.push(make_item(math.inf))
+        wheel.push(make_item(1.0))
+        popped = drain(wheel)
+        assert [h.time for h in popped] == [1.0, math.inf]
+
+    def test_bucket_boundary_times_never_fire_late(self):
+        wheel = TimingWheel(tick=0.1, slots=16)  # 0.1 is not binary-exact
+        times = [i * 0.1 for i in range(200)]
+        for t in sorted(times, reverse=True):
+            wheel.push(make_item(t))
+        assert [h.time for h in drain(wheel)] == sorted(times)
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "wheel"])
+class TestTombstoneHygiene:
+    def test_cancelled_events_are_skipped(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        keep = sim.schedule(1.0, lambda: fired.append("keep"))
+        kill = sim.schedule(2.0, lambda: fired.append("kill"))
+        assert kill.cancel()
+        sim.run_until(5.0)
+        assert fired == ["keep"]
+        assert keep.active is False
+
+    def test_mass_cancellation_does_not_grow_queue_unboundedly(self, scheduler):
+        """The satellite-3 guarantee: tombstones trigger compaction.
+
+        Schedule/cancel in waves while keeping a bounded live set; the
+        queue (live + tombstones) must stay O(live), not O(total ever
+        scheduled).
+        """
+        sim = Simulator(scheduler=scheduler)
+        total_scheduled = 0
+        for wave in range(200):
+            handles = [
+                sim.schedule(10.0 + wave + i * 0.001, lambda: None)
+                for i in range(100)
+            ]
+            total_scheduled += len(handles)
+            for handle in handles:
+                handle.cancel()
+            # Queue never holds more than ~2x the biggest live wave.
+            assert sim.pending <= 250, (wave, sim.pending)
+        assert total_scheduled == 20_000
+        assert sim.compactions > 0
+        assert sim.tombstones <= sim.pending
+        assert 0.0 <= sim.cancelled_ratio <= 1.0
+
+    def test_cancelled_ratio_reports_fraction(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        victim = sim.schedule(99.0, lambda: None)
+        victim.cancel()
+        assert sim.pending == 11
+        assert sim.tombstones == 1
+        assert sim.cancelled_ratio == pytest.approx(1 / 11)
+        del keep
+
+    def test_compaction_preserves_survivors(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        for i in range(300):
+            handle = sim.schedule(
+                1.0 + i * 0.01, lambda i=i: fired.append(i)
+            )
+            if i % 3 != 0:
+                handle.cancel()  # cancel 2/3 -> forces compaction passes
+        assert sim.compactions > 0
+        sim.run_until(10.0)
+        assert fired == [i for i in range(300) if i % 3 == 0]
+
+
+class TestEngineSchedulerSelection:
+    def test_default_is_heap(self):
+        assert Simulator().scheduler == "heap"
+
+    def test_wheel_selectable(self):
+        assert Simulator(scheduler="wheel").scheduler == "wheel"
+
+    def test_instance_accepted(self):
+        wheel = TimingWheel(tick=0.5, slots=64)
+        sim = Simulator(scheduler=wheel)
+        assert sim.scheduler == "wheel"
+        sim.schedule(1.0, lambda: None)
+        assert len(wheel) == 1
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError):
+            Simulator(scheduler="splay")
