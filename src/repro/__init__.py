@@ -44,6 +44,7 @@ from repro.errors import (
     ExecutionError,
     PolicyError,
     ReproError,
+    ScenarioError,
     SimulationError,
     TopologyError,
     TrialFailure,
@@ -52,6 +53,15 @@ from repro.errors import (
 from repro.faults import FaultPlan, RetryPolicy
 from repro.metrics import LoadDistribution, MetricsCollector, SimulationReport
 from repro.observe import MetricsRegistry, ObservationPlan, SpanRecorder
+from repro.resilience import (
+    BreakerSpec,
+    BudgetSpec,
+    ChurnStorm,
+    FlashCrowd,
+    ResiliencePolicy,
+    ScenarioPlan,
+    SheddingSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -71,6 +81,14 @@ __all__ = [
     "registered_policy_names",
     "FaultPlan",
     "RetryPolicy",
+    "BreakerSpec",
+    "BudgetSpec",
+    "ChurnStorm",
+    "FlashCrowd",
+    "ResiliencePolicy",
+    "ScenarioError",
+    "ScenarioPlan",
+    "SheddingSpec",
     "MetricsRegistry",
     "ObservationPlan",
     "SpanRecorder",

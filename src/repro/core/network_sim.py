@@ -49,6 +49,8 @@ from repro.network.address import Address, AddressAllocator
 from repro.network.overlay import OverlaySnapshot
 from repro.network.transport import ProbeStatus, Transport
 from repro.observe.plan import Observation, ObservationPlan
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.scenarios import ChurnStorm, ScenarioDriver, ScenarioPlan
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.rng import RngRegistry
@@ -110,6 +112,22 @@ class GuessSimulation:
             must *still* leave the trace digest bit-identical —
             observation never perturbs the simulation (the invisibility
             contract, asserted by the determinism suite).
+        scenarios: optional
+            :class:`~repro.resilience.scenarios.ScenarioPlan` of
+            correlated trouble — churn storms (mass departures) and
+            flash crowds (query-arrival surges).  ``None`` or an all-noop
+            plan builds no driver and reproduces the scenario-free trace
+            digest bit-for-bit; an active plan draws only from the
+            ``scenario:*`` substream.
+        resilience: optional
+            :class:`~repro.resilience.policy.ResiliencePolicy` arming
+            per-peer graceful degradation (link-cache circuit breakers,
+            retry-token budgets, graded load shedding).  ``None`` or an
+            all-off policy is normalized away and keeps every pre-existing
+            code path.
+        satisfaction_window: width in seconds of the collector's
+            satisfaction-tracking windows (feeds the time-to-recovery
+            metric); ``None`` disables the channel.
 
     Example::
 
@@ -136,12 +154,19 @@ class GuessSimulation:
         trace_hash: bool = False,
         scheduler: str = "heap",
         observe: Optional[ObservationPlan] = None,
+        scenarios: Optional[ScenarioPlan] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        satisfaction_window: Optional[float] = None,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
         self.engine = Simulator(trace_hash=trace_hash, scheduler=scheduler)
         self.rng = RngRegistry(seed)
         self.faults = FaultInjector.from_plan(faults, self.rng)
+        # Both follow the from_plan -> None invisibility contract: a
+        # missing/no-op plan leaves the hot paths branch-free.
+        self.scenario = ScenarioDriver.from_plan(scenarios, self.rng)
+        self.resilience = ResiliencePolicy.normalize(resilience)
         # None for a missing/no-op plan: the hot paths below then carry
         # no observer branches at all (the from_plan -> None contract).
         self.observation = Observation.from_plan(observe)
@@ -168,6 +193,7 @@ class GuessSimulation:
             warmup=warmup,
             keep_queries=keep_queries,
             registry=shared_registry,
+            satisfaction_window=satisfaction_window,
         )
         self.content = content or ContentModel()
         self.lifetimes = lifetime_model or LifetimeModel(
@@ -283,6 +309,16 @@ class GuessSimulation:
                 label="health-sample",
             )
 
+        if self.scenario is not None:
+            for storm in self.scenario.storms:
+                self.engine.schedule(
+                    storm.start,
+                    self._churn_storm,
+                    priority=EventPriority.DEATH,
+                    label="storm",
+                    args=(storm,),
+                )
+
     # ------------------------------------------------------------------
     # Peer lifecycle
     # ------------------------------------------------------------------
@@ -323,6 +359,7 @@ class GuessSimulation:
             max_probes_per_second=self.system.max_probes_per_second,
             policy_rng=self.rng.stream("policies"),
             intro_rng=self.rng.stream("intro"),
+            resilience=self.resilience,
         )
         if malicious:
             peer = MaliciousPeer(
@@ -362,6 +399,8 @@ class GuessSimulation:
         )
         if not malicious and self.system.query_rate > 0:
             delay = self.bursts.next_burst_delay(self.rng.stream("queries"))
+            if self.scenario is not None:
+                delay = self.scenario.warp_delay(now, delay)
             self.engine.schedule(
                 now + delay,
                 self._query_burst,
@@ -419,6 +458,43 @@ class GuessSimulation:
             args=(now, malicious, friend, True),
         )
 
+    def _churn_storm(self, storm: ChurnStorm) -> None:
+        """Onset of one churn storm: pick victims, schedule departures.
+
+        Victims are sampled from the live roster (whose order is the
+        store's deterministic insertion order) on the ``scenario:churn``
+        substream and each gets a forced-death event at a uniform offset
+        inside the storm window.  Only scheduled for enabled storms, so
+        a noop plan never reaches this path.
+        """
+        now = self.engine.now
+        live = self._store.live_peers()
+        assert self.scenario is not None  # storms only exist with a driver
+        for index, offset in self.scenario.draw_departures(storm, len(live)):
+            self.engine.schedule(
+                now + offset,
+                self._storm_death,
+                priority=EventPriority.DEATH,
+                label="storm-death",
+                args=(live[index],),
+            )
+
+    def _storm_death(self, peer: GuessPeer) -> None:
+        """Force one storm victim to depart now.
+
+        The victim goes through the ordinary death path (harvest, same-
+        instant rebirth), so the population invariant holds — the storm's
+        damage is the *staleness* it leaves in every cache that pointed
+        at the victims.  A victim that already died naturally before its
+        storm offset is skipped; its pre-scheduled natural-death event
+        later no-ops through ``_on_death``'s defensive store check.
+        """
+        now = self.engine.now
+        if not peer.is_alive(now):
+            return
+        peer.death_time = now
+        self._on_death(peer)
+
     def _pick_friend(self) -> Optional[GuessPeer]:
         """One uniformly random live peer (the newborn's "friend").
 
@@ -438,7 +514,10 @@ class GuessSimulation:
         if not self._store.mark_harvested(peer.address):
             return
         self.collector.harvest_peer(
-            peer.address, peer.probes_received, peer.probes_refused
+            peer.address,
+            peer.probes_received,
+            peer.probes_refused,
+            peer.pings_shed,
         )
 
     # ------------------------------------------------------------------
@@ -470,12 +549,19 @@ class GuessSimulation:
         entry = peer.choose_ping_target(now)
         if entry is None:
             return
+        breakers = peer.breakers
+        if breakers is not None and not breakers.allow(entry.address, now):
+            # Open breaker: spare the overloaded target this ping and
+            # keep the entry cached for the half-open trial later.
+            self.collector.record_suppressed_ping(now)
+            return
         if self._retry is None:
             outcome = self.transport.probe(
                 peer.address, entry.address, peer.ping_message(), now
             )
             retries = 0
             recovered = False
+            denied = False
         else:
             attempt = probe_with_retry(
                 self.transport,
@@ -484,31 +570,50 @@ class GuessSimulation:
                 entry.address,
                 peer.ping_message(),
                 now,
+                peer.retry_budget,
             )
             outcome = attempt.outcome
             retries = attempt.retries
             recovered = attempt.recovered
+            denied = attempt.denied
         if outcome.status is ProbeStatus.TIMEOUT:
             evicted = peer.link_cache.evict(entry.address)
+            if breakers is not None:
+                breakers.discard(entry.address)
             self.collector.record_ping(
                 dead=True,
                 time=now,
                 spurious=outcome.spurious,
                 retries=retries,
                 wrongful=outcome.spurious and evicted,
+                dead_evicted=evicted,
+                denied=denied,
             )
             return
         if outcome.status is ProbeStatus.REFUSED:
-            if not self.protocol.do_backoff:
-                peer.link_cache.evict(entry.address)
+            refusal_evicted = False
+            if breakers is not None:
+                # The breaker substitutes for refusal eviction: the
+                # entry stays cached, probes stop once it trips.
+                breakers.record_refusal(entry.address, now)
+            elif not self.protocol.do_backoff:
+                refusal_evicted = peer.link_cache.evict(entry.address)
             self.collector.record_ping(
-                dead=False, time=now, retries=retries, recovered=recovered
+                dead=False,
+                time=now,
+                retries=retries,
+                recovered=recovered,
+                refusal_evicted=refusal_evicted,
+                denied=denied,
             )
             return
+        if breakers is not None:
+            breakers.record_success(entry.address)
         peer.link_cache.touch(entry.address, now)
         peer.import_pong_to_link_cache(outcome.response, now)
         self.collector.record_ping(
-            dead=False, time=now, retries=retries, recovered=recovered
+            dead=False, time=now, retries=retries, recovered=recovered,
+            denied=denied,
         )
 
     # ------------------------------------------------------------------
@@ -545,6 +650,8 @@ class GuessSimulation:
             self.collector.record_query(result, cursor)
             cursor += result.duration
         delay = self.bursts.next_burst_delay(queries_rng)
+        if self.scenario is not None:
+            delay = self.scenario.warp_delay(now, delay)
         if delay != float("inf"):
             self.engine.schedule_after(
                 delay,

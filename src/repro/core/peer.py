@@ -9,7 +9,11 @@ cycle and query loop, driven by :mod:`repro.core.network_sim` and
 * answer Pings with Pongs built by the PingPong policy;
 * answer Queries with a result count (does my library hold the target?)
   and a piggybacked Pong built by the QueryPong policy;
-* refuse probes beyond ``MaxProbesPerSecond`` (Section 6.3);
+* refuse probes beyond ``MaxProbesPerSecond`` (Section 6.3) — with the
+  optional graded-shedding refinement from
+  :class:`~repro.resilience.policy.SheddingSpec`, which refuses *pings*
+  at a soft threshold below the hard limit so the remaining capacity
+  keeps serving queries;
 * apply the introduction rule: cache the prober with probability
   ``IntroProb`` (Section 2.2);
 * import pong entries through the CacheReplacement policy, honouring the
@@ -27,6 +31,9 @@ from repro.core.messages import Ping, Pong, Query, QueryReply, Refusal
 from repro.core.params import ProtocolParams
 from repro.core.policies import PolicySet
 from repro.network.address import Address
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.budget import RetryBudget
+from repro.resilience.policy import ResiliencePolicy
 from repro.sim.windows import BucketedRateLimiter
 from repro.workload.content import ContentModel
 
@@ -47,6 +54,10 @@ class GuessPeer:
         policy_rng: stream used for policy randomness (Random policy,
             eviction contests).
         intro_rng: stream used for introduction coin flips.
+        resilience: graceful-degradation mechanisms to arm (breakers,
+            retry budget, graded shedding); ``None`` (or an all-off
+            policy, which the simulation normalizes away) keeps the
+            plain-paper behaviour on every code path.
     """
 
     #: Class-level flag distinguishing good peers from malicious ones in
@@ -71,8 +82,12 @@ class GuessPeer:
         "_policy_rng",
         "_intro_rng",
         "defense",
+        "breakers",
+        "retry_budget",
+        "_soft_limit",
         "probes_received",
         "probes_refused",
+        "pings_shed",
         "pings_received",
         "queries_received",
         "results_served",
@@ -91,6 +106,7 @@ class GuessPeer:
         max_probes_per_second: int | None,
         policy_rng: random.Random,
         intro_rng: random.Random,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if death_time <= birth_time:
             raise ValueError(
@@ -115,9 +131,31 @@ class GuessPeer:
         # entry imports report provenance and blacklisted sources/targets
         # are dropped; None keeps the plain-paper behaviour.
         self.defense = None
+        # Resilience mechanisms (repro.resilience).  All default to the
+        # do-nothing None so an unarmed peer runs the exact pre-existing
+        # code paths.
+        self.breakers = (
+            BreakerBoard(resilience.breaker)
+            if resilience is not None and resilience.breaker is not None
+            else None
+        )
+        self.retry_budget = (
+            RetryBudget(resilience.budget)
+            if resilience is not None and resilience.budget is not None
+            else None
+        )
+        shedding = resilience.shedding if resilience is not None else None
+        self._soft_limit = (
+            max(1, int(shedding.soft_fraction * max_probes_per_second))
+            if shedding is not None
+            and shedding.enabled
+            and max_probes_per_second is not None
+            else None
+        )
         # Lifetime counters harvested by the metrics collector.
         self.probes_received = 0
         self.probes_refused = 0
+        self.pings_shed = 0
         self.pings_received = 0
         self.queries_received = 0
         self.results_served = 0
@@ -142,9 +180,21 @@ class GuessPeer:
             contract; a refusal carries a :class:`Refusal` notice.
         """
         self.probes_received += 1
-        if self._limiter is not None and not self._limiter.try_record(time):
-            self.probes_refused += 1
-            return False, Refusal(self.address)
+        if self._limiter is not None:
+            if (
+                self._soft_limit is not None
+                and isinstance(message, Ping)
+                and self._limiter.count(time) >= self._soft_limit
+            ):
+                # Graded shedding: above the soft threshold pings are
+                # refused *without* consuming window capacity, reserving
+                # the remaining budget for queries.
+                self.probes_refused += 1
+                self.pings_shed += 1
+                return False, Refusal(self.address)
+            if not self._limiter.try_record(time):
+                self.probes_refused += 1
+                return False, Refusal(self.address)
         if isinstance(message, Ping):
             return True, self._handle_ping(message, time)
         if isinstance(message, Query):

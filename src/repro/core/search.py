@@ -114,6 +114,15 @@ class QueryResult:
             resolved (delivered or refused) by a retry.
         wrongful_evictions: live link-cache entries evicted because a
             lost probe masqueraded as a death.
+        dead_evictions: link-cache entries evicted because a probe timed
+            out (includes the wrongful subset above).
+        refusal_evictions: link-cache entries evicted because a probe
+            was refused under ``do_backoff=False`` — the reflex the
+            circuit breaker replaces.
+        suppressed_probes: candidate probes skipped because the target's
+            circuit breaker was open.
+        retries_denied: probes whose retry schedule was cut short by an
+            exhausted retry-token budget.
     """
 
     satisfied: bool
@@ -129,6 +138,10 @@ class QueryResult:
     retries: int = 0
     retry_recoveries: int = 0
     wrongful_evictions: int = 0
+    dead_evictions: int = 0
+    refusal_evictions: int = 0
+    suppressed_probes: int = 0
+    retries_denied: int = 0
 
 
 def execute_query(
@@ -183,6 +196,7 @@ def execute_query(
     results = 0
     good = dead = refused = 0
     spurious = retries = recoveries = wrongful = 0
+    dead_evictions = refusal_evictions = suppressed = denied = 0
     probes = 0
     waves = 0
     response_time: Optional[float] = None
@@ -217,9 +231,23 @@ def execute_query(
         waves += 1
         wave_slip = 0.0
         defense = peer.defense
+        breakers = peer.breakers
         for entry in wave:
             address = entry.address
             query_cache.mark_seen(address)
+            if breakers is not None and not breakers.allow(address, wave_time):
+                # Open breaker: the target recently shed load, so spare
+                # it this probe and keep the entry cached for later.
+                suppressed += 1
+                if span is not None:
+                    span.record_probe(
+                        wave=waves - 1,
+                        time=wave_time,
+                        target=address,
+                        origin="link" if address in link_addresses else "query",
+                        status="suppressed",
+                    )
+                continue
             if defense is not None and defense.blocked(address):
                 blocked_evicted = peer.link_cache.evict(address)
                 if span is not None:
@@ -239,12 +267,15 @@ def execute_query(
                 )
             else:
                 attempt = probe_with_retry(
-                    transport, retry, peer.address, address, message, wave_time
+                    transport, retry, peer.address, address, message,
+                    wave_time, peer.retry_budget,
                 )
                 outcome = attempt.outcome
                 retries += attempt.retries
                 if attempt.recovered:
                     recoveries += 1
+                if attempt.denied:
+                    denied += 1
                 # Walkers of one wave wait concurrently, so the wave
                 # slips by its slowest probe's backoff, not the sum.
                 if attempt.delay > wave_slip:
@@ -255,10 +286,14 @@ def execute_query(
                 dead += 1
                 # Discovered-dead entries leave the link cache immediately.
                 evicted = peer.link_cache.evict(address)
+                if evicted:
+                    dead_evictions += 1
                 if outcome.spurious:
                     spurious += 1
                     if evicted:
                         wrongful += 1
+                if breakers is not None:
+                    breakers.discard(address)
                 if defense is not None:
                     defense.record_dead(address)
                 if span is not None:
@@ -279,10 +314,16 @@ def execute_query(
             if outcome.status is ProbeStatus.REFUSED:
                 refused += 1
                 refusal_evicted = False
-                if not protocol.do_backoff:
+                if breakers is not None:
+                    # The breaker substitutes for refusal eviction: the
+                    # entry stays cached, probes stop once it trips.
+                    breakers.record_refusal(address, wave_time)
+                elif not protocol.do_backoff:
                     # The paper's inherent throttling: treat the refusal
                     # like a death so the entry stops circulating in pongs.
                     refusal_evicted = peer.link_cache.evict(address)
+                    if refusal_evicted:
+                        refusal_evictions += 1
                 if span is not None:
                     span.record_probe(
                         wave=waves - 1,
@@ -299,6 +340,8 @@ def execute_query(
                 continue
 
             good += 1
+            if breakers is not None:
+                breakers.record_success(address)
             reply = outcome.response
             if not isinstance(reply, QueryReply):
                 raise TypeError(f"query probe returned {reply!r}")
@@ -368,4 +411,8 @@ def execute_query(
         retries=retries,
         retry_recoveries=recoveries,
         wrongful_evictions=wrongful,
+        dead_evictions=dead_evictions,
+        refusal_evictions=refusal_evictions,
+        suppressed_probes=suppressed,
+        retries_denied=denied,
     )

@@ -41,6 +41,17 @@ class ConfigError(ReproError, ValueError):
     """
 
 
+class ScenarioError(ConfigError):
+    """A resilience scenario plan is malformed.
+
+    Raised eagerly at plan-construction time by the frozen specs in
+    :mod:`repro.resilience.scenarios`: a churn-storm fraction outside
+    ``[0, 1]``, a non-positive window width, a flash-crowd window whose
+    end does not exceed its start, or overlapping enabled crowd windows
+    (which would make the arrival intensity ambiguous).
+    """
+
+
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event engine was used incorrectly.
 

@@ -1,0 +1,347 @@
+"""Churn-storm resilience suite (beyond the paper).
+
+The paper models *independent* peer churn: lifetimes are drawn per peer,
+so departures are uncorrelated and the link cache heals continuously.
+Real overlays also see *correlated* failures — a provider outage takes
+out a large slice of the network at once, and the survivors are hit by a
+flash crowd of queries at the exact moment their caches are full of dead
+entries.  This suite composes both (:class:`~repro.resilience.ChurnStorm`
+plus :class:`~repro.resilience.FlashCrowd`) and measures how much the
+resilience layer — per-entry circuit breakers, per-peer retry budgets,
+and graded ping shedding — buys back:
+
+* ``storm_grid`` — storm fraction × {mechanisms off, on}: satisfaction,
+  results/query, the eviction split (refusal- vs dead-driven), breaker
+  suppressions, denied retries, shed pings, and time-to-recovery.
+* ``storm_recovery`` — time-to-recovery vs storm fraction, one curve per
+  mechanisms setting.
+
+Time-to-recovery derives from the collector's windowed satisfaction
+channel: the pre-storm windows pool into a baseline rate and recovery is
+the first post-storm window (with enough queries to be meaningful) whose
+rate is back within 90% of that baseline.
+
+Both cells of a pair share one base seed, so the storm kills the same
+peers and the crowd re-times the same queries: the delta between the
+mechanisms-off and mechanisms-on rows is the resilience layer's doing
+alone (scenario draws live on ``scenario:*`` RNG substreams and the
+mechanisms themselves draw no RNG at all).
+
+Run via ``python -m repro.experiments.run_all --suite churn_storm`` or
+directly::
+
+    python -m repro.experiments.churn_storm --profile smoke --workers 2
+
+The module CLI's ``--verify-parallel`` flag re-runs the suite serially
+and on a process pool and fails unless the rendered reports are
+byte-identical — the resilience subsystem's serial-vs-parallel
+determinism check used by the ``storm-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Tuple
+
+from repro.core.params import ProtocolParams, SystemParams
+from repro.errors import TrialFailure
+from repro.experiments.executor import TrialExecutor, get_executor
+from repro.experiments.profiles import PROFILES, Profile, get_profile
+from repro.experiments.runner import (
+    ExperimentResult,
+    averaged,
+    run_guess_config,
+)
+from repro.metrics.summary import mean
+from repro.resilience import (
+    ChurnStorm,
+    FlashCrowd,
+    ResiliencePolicy,
+    ScenarioPlan,
+    baseline_rate,
+    time_to_recovery,
+)
+from repro.resilience.recovery import to_windows
+
+#: Fraction of the live population the storm removes (0 would be a noop).
+STORM_FRACTIONS: Tuple[float, ...] = (0.3, 0.5)
+
+#: Query-arrival multiplier during the flash crowd that rides the storm.
+CROWD_MULTIPLIER = 5.0
+
+#: Seconds over which the storm's departures spread.
+STORM_WIDTH = 20.0
+
+#: Width of the windowed satisfaction channel feeding time-to-recovery.
+SATISFACTION_WINDOW = 25.0
+
+#: Recovered = windowed satisfaction back within this much of baseline.
+RECOVERY_THRESHOLD = 0.9
+
+#: Windows with fewer queries than this are too sparse to call recovery.
+MIN_WINDOW_QUERIES = 5
+
+#: Distinct from the other suites: storm cells are not anchored to any
+#: paper figure, so the seed just has to be shared across the grid.
+BASE_SEED = 0xC0B
+
+#: A deliberately stressed configuration: a modest per-peer probe window
+#: so the flash crowd actually saturates survivors, retries enabled so
+#: the retry budget has something to cap, and do_backoff off so refusal
+#: evictions (the breaker's counterfactual) are visible.
+PROTOCOL = ProtocolParams(cache_size=30, probe_retries=2, do_backoff=False)
+MAX_PROBES_PER_SECOND = 4
+
+
+def storm_plan(profile: Profile, fraction: float) -> ScenarioPlan:
+    """The suite's scenario: one storm with a flash crowd riding it.
+
+    The storm lands 30% of the way into the measured window and the
+    crowd persists from the storm's onset to the end of the run, so the
+    recovery has to happen *under* elevated load.
+    """
+    start = profile.warmup + 0.3 * profile.duration
+    return ScenarioPlan(
+        storms=(
+            ChurnStorm(start=start, width=STORM_WIDTH, fraction=fraction),
+        ),
+        crowds=(
+            FlashCrowd(
+                start=start,
+                end=profile.total_time,
+                multiplier=CROWD_MULTIPLIER,
+            ),
+        ),
+    )
+
+
+def _recovery_seconds(report, plan: ScenarioPlan) -> float:
+    """Time-to-recovery for one trial (inf when it never recovers)."""
+    storm = plan.storms[0]
+    windows = to_windows(report.satisfaction_windows)
+    baseline = baseline_rate(windows, before=storm.start)
+    return time_to_recovery(
+        windows,
+        after=storm.start + storm.width,
+        baseline=baseline,
+        threshold=RECOVERY_THRESHOLD,
+        min_queries=MIN_WINDOW_QUERIES,
+    )
+
+
+def _measure_cell(
+    profile: Profile,
+    fraction: float,
+    armed: bool,
+    executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
+) -> Dict[str, float]:
+    """Run one (storm fraction, mechanisms) cell and fold its metrics."""
+    plan = storm_plan(profile, fraction)
+    reports = run_guess_config(
+        SystemParams(
+            network_size=profile.network_sizes[0],
+            max_probes_per_second=MAX_PROBES_PER_SECOND,
+        ),
+        PROTOCOL,
+        duration=profile.duration,
+        warmup=profile.warmup,
+        trials=profile.trials,
+        base_seed=BASE_SEED,
+        scenarios=plan,
+        resilience=ResiliencePolicy.all_on() if armed else None,
+        satisfaction_window=SATISFACTION_WINDOW,
+        executor=executor,
+        scheduler=scheduler,
+    )
+    recoveries = [
+        _recovery_seconds(report, plan)
+        for report in reports
+        if not isinstance(report, TrialFailure)
+    ]
+    return {
+        "satisfied": averaged(reports, "satisfaction_rate"),
+        "results": averaged(reports, "results_per_query"),
+        "refusal_evict": averaged(reports, "refusal_evictions"),
+        "dead_evict": averaged(reports, "dead_evictions"),
+        "suppressed": averaged(reports, "suppressed_probes"),
+        "denied": averaged(reports, "retries_denied"),
+        "shed": averaged(reports, "pings_shed"),
+        "recovery": mean(recoveries),
+    }
+
+
+def _sweep(
+    profile: Profile,
+    executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
+) -> Dict[Tuple[float, bool], Dict[str, float]]:
+    """The fraction × mechanisms grid, cells in deterministic order."""
+    return {
+        (fraction, armed): _measure_cell(
+            profile, fraction, armed, executor, scheduler
+        )
+        for armed in (False, True)
+        for fraction in STORM_FRACTIONS
+    }
+
+
+def run_storm_grid(
+    profile: Profile,
+    executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
+) -> List[ExperimentResult]:
+    """Both results from one grid sweep (the cells are shared)."""
+    cells = _sweep(profile, executor, scheduler)
+    rows = tuple(
+        (
+            fraction,
+            "on" if armed else "off",
+            cell["satisfied"],
+            cell["results"],
+            cell["refusal_evict"],
+            cell["dead_evict"],
+            cell["suppressed"],
+            cell["denied"],
+            cell["shed"],
+            cell["recovery"],
+        )
+        for (fraction, armed), cell in cells.items()
+    )
+    grid = ExperimentResult(
+        experiment_id="storm_grid",
+        title="GUESS under churn storms: storm fraction × resilience",
+        columns=(
+            "Fraction",
+            "Mechanisms",
+            "Satisfied",
+            "Results/Query",
+            "RefusalEvict",
+            "DeadEvict",
+            "Suppressed",
+            "Denied",
+            "Shed",
+            "Recovery(s)",
+        ),
+        rows=rows,
+        notes=(
+            "the storm craters windowed satisfaction; breakers convert "
+            "refusal evictions into suppressions, budgets cap retry "
+            "amplification, shedding keeps query capacity — together "
+            "they shorten time-to-recovery"
+        ),
+    )
+    recovery = ExperimentResult(
+        experiment_id="storm_recovery",
+        title="Time-to-recovery vs storm fraction, per mechanisms setting",
+        series={
+            f"mechanisms={'on' if armed else 'off'}": [
+                (fraction, cells[(fraction, armed)]["recovery"])
+                for fraction in STORM_FRACTIONS
+            ]
+            for armed in (False, True)
+        },
+        x_label="storm fraction",
+        notes=(
+            "recovery takes longer the larger the storm; the resilience "
+            "layer flattens the curve"
+        ),
+    )
+    return [grid, recovery]
+
+
+def run_suite(
+    profile: Profile,
+    workers: int = 1,
+    executor: TrialExecutor | None = None,
+    scheduler: str = "heap",
+) -> List[ExperimentResult]:
+    """``storm_grid`` and ``storm_recovery``.
+
+    An explicit ``executor`` (e.g. the supervised executor shared by
+    ``run_all --supervise``) overrides ``workers`` and stays open for
+    the caller to close.  ``scheduler`` picks the engine event queue
+    per trial ("heap" or "wheel"); results are identical either way.
+    """
+    if executor is None:
+        with get_executor(workers) as owned:
+            return run_suite(profile, executor=owned, scheduler=scheduler)
+    return run_storm_grid(profile, executor, scheduler)
+
+
+def _render(results: List[ExperimentResult]) -> str:
+    return "\n\n".join(result.render() for result in results)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Module CLI; see the module docstring.  Returns an exit code."""
+    parser = argparse.ArgumentParser(
+        description="Run the churn-storm resilience suite."
+    )
+    parser.add_argument(
+        "--profile",
+        default="smoke",
+        choices=sorted(PROFILES),
+        help="scale profile (default: smoke)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trial-level parallelism (0 = one per CPU, default: serial)",
+    )
+    parser.add_argument(
+        "--verify-parallel",
+        action="store_true",
+        help=(
+            "run the suite serially AND on --workers processes and fail "
+            "unless the rendered reports are byte-identical"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="heap",
+        choices=("heap", "wheel"),
+        help=(
+            "engine event queue per trial (default: heap); the wheel is "
+            "faster at scale and fires events in exactly the same order"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the rendered results to this file",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    profile = get_profile(args.profile)
+
+    if args.verify_parallel:
+        if args.workers == 1:
+            parser.error("--verify-parallel needs --workers N (N != 1)")
+        serial = _render(run_suite(profile, workers=1, scheduler=args.scheduler))
+        parallel = _render(
+            run_suite(profile, workers=args.workers, scheduler=args.scheduler)
+        )
+        if serial != parallel:
+            print("FAIL: serial and parallel reports differ", file=sys.stderr)
+            return 1
+        print(f"serial == workers={args.workers}: reports byte-identical")
+        text = serial
+    else:
+        text = _render(
+            run_suite(profile, workers=args.workers, scheduler=args.scheduler)
+        )
+
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,8 @@ from repro.errors import ChaosError, ConfigError
 from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 from repro.observe.profiler import active_profiler
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.scenarios import ScenarioPlan
 
 #: Chaos failure modes understood by :func:`execute_trial`.
 CHAOS_MODES = ("raise", "exit", "hang")
@@ -129,6 +131,15 @@ class TrialSpec:
         chaos: optional crash injection (:class:`ChaosSpec`); fires in
             :func:`execute_trial` before the simulation exists, so a
             surviving attempt's report is untouched by it.
+        scenarios: optional correlated-failure plan (churn storms, flash
+            crowds; frozen, hence picklable); ``None`` or an all-noop
+            plan runs the scenario-free code path bit-identically.
+        resilience: optional per-peer graceful-degradation policy
+            (breakers, retry budgets, graded shedding); ``None`` or an
+            all-off policy changes nothing.
+        satisfaction_window: width of the collector's windowed
+            satisfaction channel (``None`` = off), feeding the
+            time-to-recovery metric.
     """
 
     system: SystemParams
@@ -142,6 +153,9 @@ class TrialSpec:
     trace_hash: bool = False
     scheduler: str = "heap"
     chaos: Optional[ChaosSpec] = None
+    scenarios: Optional[ScenarioPlan] = None
+    resilience: Optional[ResiliencePolicy] = None
+    satisfaction_window: Optional[float] = None
 
 
 def execute_trial(spec: TrialSpec) -> SimulationReport:
@@ -158,6 +172,9 @@ def execute_trial(spec: TrialSpec) -> SimulationReport:
         faults=spec.faults,
         trace_hash=spec.trace_hash,
         scheduler=spec.scheduler,
+        scenarios=spec.scenarios,
+        resilience=spec.resilience,
+        satisfaction_window=spec.satisfaction_window,
     )
     # Profiling hook: when a profiler is active in this process, the
     # engine reports this trial's (events, wall, sim-seconds) sample.

@@ -10,10 +10,11 @@ Usage::
     repro-experiments --profile full --output results.txt
 
 ``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``,
-``loss_grid``, ``loss_satisfaction``) or suite names (``cache_size``,
-``ping_interval``, ``flexible_extent``, ``policy_comparison``,
-``fairness``, ``capacity``, ``malicious``, ``ablations``,
-``packet_loss``); ``--suite`` is an alias accepting the same tokens.
+``loss_grid``, ``loss_satisfaction``, ``storm_grid``,
+``storm_recovery``) or suite names (``cache_size``, ``ping_interval``,
+``flexible_extent``, ``policy_comparison``, ``fairness``, ``capacity``,
+``malicious``, ``ablations``, ``packet_loss``, ``churn_storm``);
+``--suite`` is an alias accepting the same tokens.
 
 ``--supervise`` runs every trial under
 :class:`~repro.experiments.supervisor.SupervisedTrialExecutor`:
@@ -42,6 +43,7 @@ from repro.experiments import (
     ablations,
     cache_size,
     capacity,
+    churn_storm,
     fairness,
     flexible_extent,
     malicious,
@@ -78,6 +80,7 @@ SUITES: Dict[str, Callable] = {
     "malicious": malicious.run_suite,
     "ablations": ablations.run_suite,
     "packet_loss": packet_loss.run_suite,
+    "churn_storm": churn_storm.run_suite,
 }
 
 #: Experiment id -> the suite that produces it.
@@ -104,6 +107,8 @@ EXPERIMENT_SUITE: Dict[str, str] = {
     "fig21": "malicious",
     "loss_grid": "packet_loss",
     "loss_satisfaction": "packet_loss",
+    "storm_grid": "churn_storm",
+    "storm_recovery": "churn_storm",
 }
 
 #: Exit codes beyond 0/1: quarantines happened (sweep completed but some

@@ -31,6 +31,8 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import SimulationReport
 from repro.metrics.summary import mean
 from repro.observe.manifest import active_manifest_recorder
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.scenarios import ScenarioPlan
 from repro.reporting.series import format_series_block
 from repro.reporting.tables import format_table
 from repro.sim.rng import derive_seed
@@ -91,6 +93,9 @@ def run_guess_config(
     trace_hash: bool = False,
     scheduler: str = "heap",
     chaos: Optional[Mapping[int, ChaosSpec]] = None,
+    scenarios: Optional[ScenarioPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
+    satisfaction_window: Optional[float] = None,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
 
@@ -128,6 +133,16 @@ def run_guess_config(
             the worker before their simulation is built.  Ignored on the
             ``mutate`` path (which runs in-process, where an injected
             ``os._exit`` would kill the parent).
+        scenarios: optional correlated-failure plan (churn storms, flash
+            crowds) applied to every trial; ``None`` or an all-noop plan
+            reproduces the scenario-free runs exactly.  Recorded in the
+            manifest alongside the fault plan.
+        resilience: optional graceful-degradation policy armed on every
+            peer of every trial; ``None`` or an all-off policy changes
+            nothing.
+        satisfaction_window: width of the collector's windowed
+            satisfaction channel (feeds time-to-recovery); ``None``
+            disables it.
 
     Returns:
         One report per trial, in trial order.  Under a supervised
@@ -149,6 +164,9 @@ def run_guess_config(
             trace_hash=capture,
             scheduler=scheduler,
             chaos=chaos.get(trial) if chaos is not None else None,
+            scenarios=scenarios,
+            resilience=resilience,
+            satisfaction_window=satisfaction_window,
         )
         for trial in range(trials)
     ]
@@ -165,6 +183,9 @@ def run_guess_config(
                 faults=faults,
                 trace_hash=capture,
                 scheduler=scheduler,
+                scenarios=scenarios,
+                resilience=resilience,
+                satisfaction_window=satisfaction_window,
             )
             mutate(sim)
             sim.run(warmup + duration)
@@ -187,6 +208,9 @@ def run_guess_config(
             keep_queries=keep_queries,
             seeds=[spec.seed for spec in specs],
             digests=[report.trace_digest for report in reports],
+            scenarios=scenarios,
+            resilience=resilience,
+            satisfaction_window=satisfaction_window,
         )
     return reports
 

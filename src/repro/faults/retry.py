@@ -25,7 +25,7 @@ to the pre-retry code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.network.address import Address
@@ -33,6 +33,7 @@ from repro.network.transport import ProbeOutcome, ProbeStatus, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.params import ProtocolParams
+    from repro.resilience.budget import RetryBudget
 
 #: Accepted backoff schedules.
 BACKOFF_MODES: Tuple[str, ...] = ("fixed", "exponential")
@@ -122,12 +123,17 @@ class RetriedProbe:
         delay: virtual seconds between the first and final send (0
             without retries); the amount by which a caller's probe
             schedule slips.
+        denied: True if the retry schedule was cut short because the
+            caller's :class:`~repro.resilience.budget.RetryBudget` was
+            out of tokens — the probe resolved with its last *afforded*
+            outcome.
     """
 
     outcome: ProbeOutcome
     attempts: int
     recovered: bool
     delay: float
+    denied: bool = False
 
     @property
     def retries(self) -> int:
@@ -142,6 +148,7 @@ def probe_with_retry(
     dst: Address,
     message: Any,
     time: float,
+    budget: "Optional[RetryBudget]" = None,
 ) -> RetriedProbe:
     """Send ``message`` with up to ``retry.max_attempts`` attempts.
 
@@ -149,14 +156,25 @@ def probe_with_retry(
     elapsed plus the policy's backoff gap, at virtual time
     ``time + delay_i`` — retried probes are later probes, so target-side
     liveness and capacity windows see honest timestamps.
+
+    When the caller carries a retry ``budget``, each re-send first spends
+    one token (charged at the re-send's virtual timestamp); an exhausted
+    budget ends the schedule early with ``denied=True``, capping retry
+    amplification during storms.  With ``budget=None`` the code path is
+    bit-identical to the unbudgeted helper.
     """
     outcome = transport.probe(src, dst, message, time)
     if outcome.status is not ProbeStatus.TIMEOUT or not retry.enabled:
         return RetriedProbe(outcome, attempts=1, recovered=False, delay=0.0)
     attempts = 1
     delay = 0.0
+    denied = False
     while attempts < retry.max_attempts:
-        delay += outcome.rtt + retry.delay(attempts - 1)
+        next_delay = delay + outcome.rtt + retry.delay(attempts - 1)
+        if budget is not None and not budget.try_spend(time + next_delay):
+            denied = True
+            break
+        delay = next_delay
         outcome = transport.probe(src, dst, message, time + delay)
         attempts += 1
         if outcome.status is not ProbeStatus.TIMEOUT:
@@ -165,4 +183,6 @@ def probe_with_retry(
                 final, attempts=attempts, recovered=True, delay=delay
             )
     final = replace(outcome, rtt=delay + outcome.rtt)
-    return RetriedProbe(final, attempts=attempts, recovered=False, delay=delay)
+    return RetriedProbe(
+        final, attempts=attempts, recovered=False, delay=delay, denied=denied
+    )

@@ -65,6 +65,10 @@ class _QueryAggregate:
     retries: int = 0
     recoveries: int = 0
     wrongful: int = 0
+    dead_evictions: int = 0
+    refusal_evictions: int = 0
+    suppressed: int = 0
+    retries_denied: int = 0
     response_time_sum: float = 0.0
     response_time_count: int = 0
 
@@ -85,6 +89,14 @@ class MetricsCollector:
             Sharing a windowed registry yields per-window snapshots of
             ping/churn activity; the compatibility properties below keep
             every historical read site working unchanged.
+        satisfaction_window: width in virtual seconds of the dedicated
+            satisfaction-tracking windows (the raw material for the
+            time-to-recovery metric in
+            :mod:`repro.resilience.recovery`); ``None`` (the default)
+            disables the channel and the report's
+            ``satisfaction_windows`` stays empty.  The channel uses a
+            *private* windowed registry so it composes independently of
+            the shared observability ``registry``.
     """
 
     #: Registry names of the collector's instruments.
@@ -97,12 +109,20 @@ class MetricsCollector:
     METRIC_BIRTHS = "sim.births"
     METRIC_DEATHS = "sim.deaths"
     METRIC_QUERIES = "sim.queries"
+    METRIC_DEAD_PING_EVICTIONS = "sim.dead_ping_evictions"
+    METRIC_REFUSAL_PING_EVICTIONS = "sim.refusal_ping_evictions"
+    METRIC_SUPPRESSED_PINGS = "sim.suppressed_pings"
+    METRIC_PING_RETRIES_DENIED = "sim.ping_retries_denied"
+    #: Instruments of the private satisfaction-window channel.
+    METRIC_WINDOW_QUERIES = "sim.window_queries"
+    METRIC_WINDOW_SATISFIED = "sim.window_satisfied"
 
     def __init__(
         self,
         warmup: float = 0.0,
         keep_queries: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        satisfaction_window: Optional[float] = None,
     ) -> None:
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
@@ -130,6 +150,38 @@ class MetricsCollector:
         self._c_births = self._registry.counter(self.METRIC_BIRTHS)
         self._c_deaths = self._registry.counter(self.METRIC_DEATHS)
         self._c_queries = self._registry.counter(self.METRIC_QUERIES)
+        self._c_dead_ping_evictions = self._registry.counter(
+            self.METRIC_DEAD_PING_EVICTIONS
+        )
+        self._c_refusal_ping_evictions = self._registry.counter(
+            self.METRIC_REFUSAL_PING_EVICTIONS
+        )
+        self._c_suppressed_pings = self._registry.counter(
+            self.METRIC_SUPPRESSED_PINGS
+        )
+        self._c_ping_denied = self._registry.counter(
+            self.METRIC_PING_RETRIES_DENIED
+        )
+        # The satisfaction-window channel: a private windowed registry
+        # so the report can expose per-window (queries, satisfied) rows
+        # whether or not a shared observability registry is attached.
+        self._sat_registry = (
+            MetricsRegistry(window=satisfaction_window)
+            if satisfaction_window is not None
+            else None
+        )
+        self._sat_queries = (
+            self._sat_registry.counter(self.METRIC_WINDOW_QUERIES)
+            if self._sat_registry is not None
+            else None
+        )
+        self._sat_satisfied = (
+            self._sat_registry.counter(self.METRIC_WINDOW_SATISFIED)
+            if self._sat_registry is not None
+            else None
+        )
+        self._last_query_time = 0.0
+        self.pings_shed_total = 0
         # Transport-lifetime counters, recorded once at report time (not
         # warmup-filtered: they describe the wire, not the measurement
         # window).
@@ -148,6 +200,12 @@ class MetricsCollector:
             return
         if self._observed:
             self._registry.advance(time)
+        if self._sat_registry is not None:
+            self._sat_registry.advance(time)
+            self._sat_queries.inc()
+            if result.satisfied:
+                self._sat_satisfied.inc()
+            self._last_query_time = time
         self._c_queries.inc()
         agg = self._agg
         agg.count += 1
@@ -161,6 +219,10 @@ class MetricsCollector:
         agg.retries += result.retries
         agg.recoveries += result.retry_recoveries
         agg.wrongful += result.wrongful_evictions
+        agg.dead_evictions += result.dead_evictions
+        agg.refusal_evictions += result.refusal_evictions
+        agg.suppressed += result.suppressed_probes
+        agg.retries_denied += result.retries_denied
         if result.response_time is not None:
             agg.response_time_sum += result.response_time
             agg.response_time_count += 1
@@ -176,6 +238,9 @@ class MetricsCollector:
         retries: int = 0,
         recovered: bool = False,
         wrongful: bool = False,
+        dead_evicted: bool = False,
+        refusal_evicted: bool = False,
+        denied: bool = False,
     ) -> None:
         """Record one maintenance ping and whether it found a corpse.
 
@@ -187,6 +252,11 @@ class MetricsCollector:
             recovered: a retry resolved what first looked like a death.
             wrongful: a live link-cache entry was evicted off the back
                 of a spurious timeout.
+            dead_evicted: the timeout evicted the target's entry.
+            refusal_evicted: a refusal evicted the target's entry (the
+                ``do_backoff=False`` reflex the breaker replaces).
+            denied: the retry schedule was cut short by an exhausted
+                retry-token budget.
         """
         if time < self.warmup:
             return
@@ -196,12 +266,26 @@ class MetricsCollector:
         self._c_ping_retries.inc(retries)
         if recovered:
             self._c_ping_recoveries.inc()
+        if denied:
+            self._c_ping_denied.inc()
+        if refusal_evicted:
+            self._c_refusal_ping_evictions.inc()
         if dead:
             self._c_dead_pings.inc()
             if spurious:
                 self._c_spurious_dead.inc()
             if wrongful:
                 self._c_wrongful_pings.inc()
+            if dead_evicted:
+                self._c_dead_ping_evictions.inc()
+
+    def record_suppressed_ping(self, time: float) -> None:
+        """Record a maintenance ping skipped by an open circuit breaker."""
+        if time < self.warmup:
+            return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_suppressed_pings.inc()
 
     def record_death(self, time: float) -> None:
         """Count a peer departure (post-warmup)."""
@@ -218,7 +302,11 @@ class MetricsCollector:
             self._c_births.inc()
 
     def harvest_peer(
-        self, address: Address, probes_received: int, probes_refused: int
+        self,
+        address: Address,
+        probes_received: int,
+        probes_refused: int,
+        pings_shed: int = 0,
     ) -> None:
         """Absorb a peer's lifetime counters (at its death or at report).
 
@@ -230,6 +318,7 @@ class MetricsCollector:
         self._refusals[address] = (
             self._refusals.get(address, 0) + probes_refused
         )
+        self.pings_shed_total += pings_shed
 
     def record_health_sample(self, sample: CacheHealthSample) -> None:
         """Append one periodic cache-health snapshot (post-warmup only)."""
@@ -300,6 +389,48 @@ class MetricsCollector:
     def deaths(self) -> int:
         return self._c_deaths.value
 
+    @property
+    def dead_ping_evictions(self) -> int:
+        return self._c_dead_ping_evictions.value
+
+    @property
+    def refusal_ping_evictions(self) -> int:
+        return self._c_refusal_ping_evictions.value
+
+    @property
+    def suppressed_pings(self) -> int:
+        return self._c_suppressed_pings.value
+
+    @property
+    def ping_retries_denied(self) -> int:
+        return self._c_ping_denied.value
+
+    def _satisfaction_windows(self) -> tuple:
+        """Flush and render the satisfaction channel's window rows.
+
+        Each row is a plain ``(start, end, queries, satisfied)`` tuple —
+        :func:`repro.resilience.recovery.to_windows` adapts them.  The
+        final partial window is flushed by advancing one full width past
+        the last recorded query, so recovery tails are never dropped.
+        """
+        if self._sat_registry is None:
+            return ()
+        width = self._sat_registry.window
+        assert width is not None
+        self._sat_registry.advance(self._last_query_time + width)
+        rows = []
+        for snap in self._sat_registry.window_snapshots:
+            queries = int(snap.values.get(self.METRIC_WINDOW_QUERIES, 0))
+            if not queries:
+                continue
+            rows.append((
+                snap.start,
+                snap.end,
+                queries,
+                int(snap.values.get(self.METRIC_WINDOW_SATISFIED, 0)),
+            ))
+        return tuple(rows)
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -341,10 +472,20 @@ class MetricsCollector:
             probe_retries=agg.retries,
             retry_recovered_probes=agg.recoveries,
             wrongful_query_evictions=agg.wrongful,
+            dead_query_evictions=agg.dead_evictions,
+            refusal_query_evictions=agg.refusal_evictions,
+            suppressed_query_probes=agg.suppressed,
+            query_retries_denied=agg.retries_denied,
             spurious_dead_pings=self.spurious_dead_pings,
             ping_retries=self.ping_retries,
             ping_retry_recoveries=self.ping_retry_recoveries,
             wrongful_ping_evictions=self.wrongful_ping_evictions,
+            dead_ping_evictions=self.dead_ping_evictions,
+            refusal_ping_evictions=self.refusal_ping_evictions,
+            suppressed_pings=self.suppressed_pings,
+            ping_retries_denied=self.ping_retries_denied,
+            pings_shed=self.pings_shed_total,
+            satisfaction_windows=self._satisfaction_windows(),
             transport_probes_sent=self.transport_probes_sent,
             transport_timeouts=self.transport_timeouts,
             transport_refusals=self.transport_refusals,
@@ -382,6 +523,15 @@ class SimulationReport:
     retry_recovered_probes: int = 0
     #: Live link-cache entries evicted by lossy query probes.
     wrongful_query_evictions: int = 0
+    #: Query-probe evictions caused by timeouts (includes the wrongful
+    #: subset above).
+    dead_query_evictions: int = 0
+    #: Query-probe evictions caused by refusals (``do_backoff=False``).
+    refusal_query_evictions: int = 0
+    #: Query probes skipped because the target's breaker was open.
+    suppressed_query_probes: int = 0
+    #: Query probes whose retries were cut short by the token budget.
+    query_retries_denied: int = 0
     #: Dead pings whose target was live (fault-injected losses).
     spurious_dead_pings: int = 0
     #: Extra ping sends made by the retry policy.
@@ -390,6 +540,20 @@ class SimulationReport:
     ping_retry_recoveries: int = 0
     #: Live link-cache entries evicted by lossy pings.
     wrongful_ping_evictions: int = 0
+    #: Ping evictions caused by timeouts / by refusals, split by cause.
+    dead_ping_evictions: int = 0
+    refusal_ping_evictions: int = 0
+    #: Maintenance pings skipped because the target's breaker was open.
+    suppressed_pings: int = 0
+    #: Pings whose retries were cut short by the token budget.
+    ping_retries_denied: int = 0
+    #: Incoming pings refused by graded load shedding (receiver side).
+    pings_shed: int = 0
+    #: Per-window ``(start, end, queries, satisfied)`` rows from the
+    #: collector's satisfaction channel (empty unless a
+    #: ``satisfaction_window`` was configured); the input to
+    #: :func:`repro.resilience.recovery.time_to_recovery`.
+    satisfaction_windows: tuple = ()
     #: Transport-lifetime totals (queries + pings + retries, warmup
     #: included) — the wire's ground truth.
     transport_probes_sent: int = 0
@@ -484,6 +648,34 @@ class SimulationReport:
     def wrongful_evictions(self) -> int:
         """Live link-cache entries evicted as "dead" (query + ping paths)."""
         return self.wrongful_query_evictions + self.wrongful_ping_evictions
+
+    # -- Resilience metrics (repro.resilience) ---------------------------
+
+    @property
+    def dead_evictions(self) -> int:
+        """Evictions caused by probe timeouts (query + ping paths)."""
+        return self.dead_query_evictions + self.dead_ping_evictions
+
+    @property
+    def refusal_evictions(self) -> int:
+        """Evictions caused by refusals under ``do_backoff=False``.
+
+        The cause-split counterpart of :attr:`dead_evictions`; zero when
+        circuit breakers are armed (the breaker suppresses instead of
+        evicting), which is exactly how the breaker's benefit is
+        attributed.
+        """
+        return self.refusal_query_evictions + self.refusal_ping_evictions
+
+    @property
+    def suppressed_probes(self) -> int:
+        """Probes skipped by open circuit breakers (query + ping paths)."""
+        return self.suppressed_query_probes + self.suppressed_pings
+
+    @property
+    def retries_denied(self) -> int:
+        """Retry schedules cut short by exhausted token budgets."""
+        return self.query_retries_denied + self.ping_retries_denied
 
     @property
     def spurious_dead_ping_fraction(self) -> float:

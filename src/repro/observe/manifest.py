@@ -47,6 +47,10 @@ from repro.faults.plan import (
     GilbertElliott,
     PartitionWindow,
 )
+from repro.resilience.breaker import BreakerSpec
+from repro.resilience.budget import BudgetSpec
+from repro.resilience.policy import ResiliencePolicy, SheddingSpec
+from repro.resilience.scenarios import ChurnStorm, FlashCrowd, ScenarioPlan
 from repro.sim.rng import derive_seed
 
 if TYPE_CHECKING:
@@ -109,6 +113,58 @@ def faults_from_jsonable(data: Optional[Dict[str, Any]]) -> Optional[FaultPlan]:
     )
 
 
+def scenarios_to_jsonable(
+    scenarios: Optional[ScenarioPlan],
+) -> Optional[Dict[str, Any]]:
+    """JSON-ready dict for a :class:`ScenarioPlan` (None stays None)."""
+    if scenarios is None:
+        return None
+    return {
+        "storms": [asdict(storm) for storm in scenarios.storms],
+        "crowds": [asdict(crowd) for crowd in scenarios.crowds],
+    }
+
+
+def scenarios_from_jsonable(
+    data: Optional[Dict[str, Any]],
+) -> Optional[ScenarioPlan]:
+    """Inverse of :func:`scenarios_to_jsonable`."""
+    if data is None:
+        return None
+    return ScenarioPlan(
+        storms=tuple(ChurnStorm(**storm) for storm in data["storms"]),
+        crowds=tuple(FlashCrowd(**crowd) for crowd in data["crowds"]),
+    )
+
+
+def resilience_to_jsonable(
+    policy: Optional[ResiliencePolicy],
+) -> Optional[Dict[str, Any]]:
+    """JSON-ready dict for a :class:`ResiliencePolicy` (None stays None)."""
+    if policy is None:
+        return None
+    return {
+        "breaker": asdict(policy.breaker) if policy.breaker else None,
+        "budget": asdict(policy.budget) if policy.budget else None,
+        "shedding": asdict(policy.shedding) if policy.shedding else None,
+    }
+
+
+def resilience_from_jsonable(
+    data: Optional[Dict[str, Any]],
+) -> Optional[ResiliencePolicy]:
+    """Inverse of :func:`resilience_to_jsonable`."""
+    if data is None:
+        return None
+    return ResiliencePolicy(
+        breaker=BreakerSpec(**data["breaker"]) if data["breaker"] else None,
+        budget=BudgetSpec(**data["budget"]) if data["budget"] else None,
+        shedding=(
+            SheddingSpec(**data["shedding"]) if data["shedding"] else None
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Recording
 # ----------------------------------------------------------------------
@@ -134,12 +190,18 @@ class ManifestRecorder:
         seeds: Sequence[int],
         digests: Sequence[Optional[str]],
         keep_queries: bool = False,
+        scenarios: Optional[ScenarioPlan] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        satisfaction_window: Optional[float] = None,
     ) -> None:
         """Append one executed configuration with its seeds and digests."""
         self.configs.append({
             "system": system_to_jsonable(system),
             "protocol": protocol_to_jsonable(protocol),
             "faults": faults_to_jsonable(faults),
+            "scenarios": scenarios_to_jsonable(scenarios),
+            "resilience": resilience_to_jsonable(resilience),
+            "satisfaction_window": satisfaction_window,
             "duration": duration,
             "warmup": warmup,
             "trials": trials,
@@ -244,6 +306,9 @@ def specs_for_entry(entry: Dict[str, Any]) -> List[TrialSpec]:
             health_sample_interval=entry["health_sample_interval"],
             faults=faults_from_jsonable(entry["faults"]),
             trace_hash=True,
+            scenarios=scenarios_from_jsonable(entry.get("scenarios")),
+            resilience=resilience_from_jsonable(entry.get("resilience")),
+            satisfaction_window=entry.get("satisfaction_window"),
         )
         for trial in range(entry["trials"])
     ]
@@ -268,6 +333,9 @@ def replay_config(entry: Dict[str, Any], *, workers: int = 1) -> Tuple[str, ...]
         faults=faults_from_jsonable(entry["faults"]),
         workers=workers,
         trace_hash=True,
+        scenarios=scenarios_from_jsonable(entry.get("scenarios")),
+        resilience=resilience_from_jsonable(entry.get("resilience")),
+        satisfaction_window=entry.get("satisfaction_window"),
     )
     return tuple(report.trace_digest for report in reports)
 

@@ -1,0 +1,193 @@
+"""Tests for the churn-storm resilience suite.
+
+Covers the suite's contracts: the grid is complete and the mechanism
+counters behave (mechanisms off ⇒ no suppressions/denials/shedding;
+mechanisms on ⇒ breakers fully replace refusal-driven eviction); the
+headline claim — at equal seed, arming the resilience layer strictly
+improves both time-to-recovery and results/query for the pinned storm
+cell; and a parallel run is byte-identical to a serial one with storms
+active.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import churn_storm
+from repro.experiments.profiles import Profile, get_profile
+from repro.experiments.runner import ExperimentResult
+
+MICRO = Profile(
+    name="micro",
+    duration=120.0,
+    warmup=30.0,
+    trials=1,
+    network_sizes=(60,),
+    reference_size=60,
+    cache_sizes=(5, 20),
+    ping_intervals=(15.0, 120.0),
+    baseline_queries=60,
+    max_extent=60,
+)
+
+
+def grid_cells(grid: ExperimentResult) -> dict:
+    return {(row[0], row[1]): row for row in grid.rows}
+
+
+class TestSuiteShape:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return churn_storm.run_suite(MICRO)
+
+    def test_ids(self, results):
+        assert [r.experiment_id for r in results] == [
+            "storm_grid", "storm_recovery",
+        ]
+
+    def test_grid_complete(self, results):
+        cells = grid_cells(results[0])
+        assert set(cells) == {
+            (fraction, mechanisms)
+            for fraction in churn_storm.STORM_FRACTIONS
+            for mechanisms in ("off", "on")
+        }
+
+    def test_columns_split_evictions_by_cause(self, results):
+        columns = results[0].columns
+        assert "RefusalEvict" in columns
+        assert "DeadEvict" in columns
+
+    def test_recovery_series_per_mechanisms_setting(self, results):
+        series = results[1].series
+        assert set(series) == {"mechanisms=off", "mechanisms=on"}
+        for points in series.values():
+            assert [x for x, _ in points] == list(
+                churn_storm.STORM_FRACTIONS
+            )
+
+    def test_mechanisms_off_cells_have_no_mechanism_artifacts(
+        self, results
+    ):
+        cells = grid_cells(results[0])
+        for fraction in churn_storm.STORM_FRACTIONS:
+            row = cells[(fraction, "off")]
+            _, _, satisfied, _, _, _, suppressed, denied, shed, _ = row
+            assert suppressed == 0.0
+            assert denied == 0.0
+            assert shed == 0.0
+            assert 0.0 <= satisfied <= 1.0
+
+    def test_breaker_replaces_refusal_eviction(self, results):
+        cells = grid_cells(results[0])
+        for fraction in churn_storm.STORM_FRACTIONS:
+            # Armed: the breaker absorbs every refusal, so the
+            # do_backoff=False eviction reflex never fires.
+            assert cells[(fraction, "on")][4] == 0.0
+
+    def test_storm_kills_are_visible_as_dead_evictions(self, results):
+        cells = grid_cells(results[0])
+        small = cells[(churn_storm.STORM_FRACTIONS[0], "off")][5]
+        large = cells[(churn_storm.STORM_FRACTIONS[-1], "off")][5]
+        assert small > 0.0
+        assert large > small
+
+
+class TestMechanismsImprove:
+    """The headline pin: resilience strictly improves the storm cell.
+
+    Both cells share base seed, scenario plan, and workload; only the
+    per-peer mechanisms differ.  At the smoke profile the fraction-0.5
+    cell must show a strictly shorter time-to-recovery *and* strictly
+    more results per query with the mechanisms armed.
+    """
+
+    FRACTION = 0.5
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        profile = get_profile("smoke")
+        return (
+            churn_storm._measure_cell(profile, self.FRACTION, False),
+            churn_storm._measure_cell(profile, self.FRACTION, True),
+        )
+
+    def test_recovery_strictly_improves(self, cells):
+        off, on = cells
+        assert on["recovery"] < off["recovery"]
+
+    def test_results_per_query_strictly_improves(self, cells):
+        off, on = cells
+        assert on["results"] > off["results"]
+
+    def test_improvement_is_attributable(self, cells):
+        off, on = cells
+        # The off cell evicts on refusal; the on cell never does, and
+        # its budget/shedding counters show the mechanisms actually ran.
+        assert off["refusal_evict"] > 0.0
+        assert on["refusal_evict"] == 0.0
+        assert on["denied"] > 0.0
+        assert on["shed"] > 0.0
+
+
+class TestParallelEquality:
+    def test_workers_2_report_is_byte_identical_to_serial(self):
+        serial = churn_storm.run_suite(MICRO, workers=1)
+        parallel = churn_storm.run_suite(MICRO, workers=2)
+        assert [r.render() for r in serial] == [
+            r.render() for r in parallel
+        ]
+
+
+class TestCli:
+    def canned(self, tag):
+        return [
+            ExperimentResult(
+                experiment_id="storm_grid",
+                title=f"canned {tag}",
+                columns=("A",),
+                rows=((1.0,),),
+            )
+        ]
+
+    def test_verify_parallel_passes_on_identical_reports(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            churn_storm,
+            "run_suite",
+            lambda profile, workers=1, **kw: self.canned("x"),
+        )
+        assert churn_storm.main(
+            ["--profile", "smoke", "--workers", "2", "--verify-parallel"]
+        ) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_verify_parallel_fails_on_divergent_reports(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            churn_storm,
+            "run_suite",
+            lambda profile, workers=1, **kw: self.canned(
+                f"workers={workers}"
+            ),
+        )
+        assert churn_storm.main(
+            ["--profile", "smoke", "--workers", "2", "--verify-parallel"]
+        ) == 1
+        assert "differ" in capsys.readouterr().err
+
+    def test_verify_parallel_requires_workers(self):
+        with pytest.raises(SystemExit):
+            churn_storm.main(["--verify-parallel"])
+
+    def test_output_file_written(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            churn_storm,
+            "run_suite",
+            lambda profile, workers=1, **kw: self.canned("x"),
+        )
+        target = tmp_path / "storm.txt"
+        assert churn_storm.main(["--output", str(target)]) == 0
+        assert "canned x" in target.read_text()

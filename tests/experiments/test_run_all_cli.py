@@ -39,7 +39,12 @@ class TestResolveSuites:
 class TestCoverage:
     def test_every_paper_artifact_mapped(self):
         paper = {"table3"} | {f"fig{i}" for i in range(3, 22)}
-        beyond_paper = {"loss_grid", "loss_satisfaction"}
+        beyond_paper = {
+            "loss_grid",
+            "loss_satisfaction",
+            "storm_grid",
+            "storm_recovery",
+        }
         assert set(EXPERIMENT_SUITE) == paper | beyond_paper
 
     def test_all_mapped_suites_exist(self):
@@ -48,3 +53,7 @@ class TestCoverage:
     def test_packet_loss_ids_map_to_packet_loss(self):
         assert resolve_suites(["loss_grid"]) == ["packet_loss"]
         assert resolve_suites(["loss_satisfaction"]) == ["packet_loss"]
+
+    def test_storm_ids_map_to_churn_storm(self):
+        assert resolve_suites(["storm_grid"]) == ["churn_storm"]
+        assert resolve_suites(["storm_recovery"]) == ["churn_storm"]

@@ -15,6 +15,12 @@ from repro.core.network_sim import GuessSimulation
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
 from repro.faults.plan import BrownoutSpec, FaultPlan, PartitionWindow
 from repro.observe.plan import ObservationPlan
+from repro.resilience import (
+    ChurnStorm,
+    FlashCrowd,
+    ResiliencePolicy,
+    ScenarioPlan,
+)
 
 DURATION = 400.0
 
@@ -30,7 +36,9 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
              behavior: BadPongBehavior = BadPongBehavior.DEAD,
              faults: FaultPlan | None = None, probe_retries: int = 0,
              observe: ObservationPlan | None = None,
-             scheduler: str = "heap"):
+             scheduler: str = "heap",
+             scenarios: ScenarioPlan | None = None,
+             resilience: ResiliencePolicy | None = None):
     """One small, full-featured run; returns (digest, report)."""
     sim = GuessSimulation(
         SystemParams(
@@ -44,6 +52,8 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
         trace_hash=True,
         observe=observe,
         scheduler=scheduler,
+        scenarios=scenarios,
+        resilience=resilience,
     )
     sim.run(DURATION)
     report = sim.report()
@@ -206,6 +216,90 @@ class TestObservationInvisibility:
         _, plain = run_once(7)
         _, observed = run_once(7, observe=FULL_OBSERVATION)
         assert plain == observed
+
+
+class TestScenarioInvisibility:
+    """The resilience layer's side of the determinism contract.
+
+    An all-noop :class:`ScenarioPlan` and an all-off (default)
+    :class:`ResiliencePolicy` must be *contractually invisible* — the
+    identical event stream, pinned against the golden digests above.
+    Armed scenarios must be deterministic while actually changing the
+    run.
+    """
+
+    #: All components present but disabled: zero-fraction storm,
+    #: unit-multiplier crowd.  Must be indistinguishable from no plan.
+    NOOP = ScenarioPlan(
+        storms=(ChurnStorm(start=100.0, width=20.0, fraction=0.0),),
+        crowds=(FlashCrowd(start=100.0, end=300.0, multiplier=1.0),),
+    )
+
+    STORMY = ScenarioPlan(
+        storms=(ChurnStorm(start=150.0, width=20.0, fraction=0.4),),
+        crowds=(FlashCrowd(start=150.0, end=350.0, multiplier=3.0),),
+    )
+
+    def test_noop_plan_reproduces_clean_pin(self):
+        digest, _ = run_once(
+            7, scenarios=self.NOOP, resilience=ResiliencePolicy()
+        )
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_noop_plan_reproduces_attack_pin(self):
+        digest, _ = run_once(
+            11, percent_bad=10.0, behavior=BadPongBehavior.BAD,
+            scenarios=self.NOOP, resilience=ResiliencePolicy(),
+        )
+        assert digest == "23d74325e25c2c9e44279d38a317edbe"
+
+    def test_noop_plan_reproduces_loss_retry_pin(self):
+        digest, _ = run_once(
+            7, faults=FaultPlan(loss_rate=0.05), probe_retries=2,
+            scenarios=self.NOOP, resilience=ResiliencePolicy(),
+        )
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_reports_identical_with_and_without_noop_plan(self):
+        _, plain = run_once(7)
+        _, gated = run_once(
+            7, scenarios=self.NOOP, resilience=ResiliencePolicy()
+        )
+        assert plain == gated
+
+    def test_stormy_run_is_deterministic(self):
+        digest_a, report_a = run_once(7, scenarios=self.STORMY)
+        digest_b, report_b = run_once(7, scenarios=self.STORMY)
+        assert digest_a == digest_b
+        assert report_a == report_b
+
+    def test_storm_actually_changes_the_run(self):
+        # Unlike faults, a storm schedules real events (forced deaths)
+        # and the crowd re-times query bursts, so the digest must move.
+        clean_digest, clean = run_once(7)
+        storm_digest, stormy = run_once(7, scenarios=self.STORMY)
+        assert storm_digest != clean_digest
+        assert stormy.deaths > clean.deaths
+
+    def test_armed_resilience_is_deterministic_under_storm(self):
+        digest_a, report_a = run_once(
+            7, probe_retries=2,
+            scenarios=self.STORMY, resilience=ResiliencePolicy.all_on(),
+        )
+        digest_b, report_b = run_once(
+            7, probe_retries=2,
+            scenarios=self.STORMY, resilience=ResiliencePolicy.all_on(),
+        )
+        assert digest_a == digest_b
+        assert report_a == report_b
+
+    def test_stormy_pin_reproduced_on_wheel(self):
+        heap_digest, heap_report = run_once(7, scenarios=self.STORMY)
+        wheel_digest, wheel_report = run_once(
+            7, scenarios=self.STORMY, scheduler="wheel"
+        )
+        assert wheel_digest == heap_digest
+        assert wheel_report == heap_report
 
 
 class TestFaultDeterminism:

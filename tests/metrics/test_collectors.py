@@ -197,3 +197,96 @@ class TestLoadsAndHealth:
         collector = MetricsCollector()
         collector.record_query(query_result(probes=10, good=6, dead=4), 1.0)
         assert collector.build_report().wasted_probe_fraction == pytest.approx(0.4)
+
+
+class TestResilienceAccounting:
+    def test_ping_eviction_split_by_cause(self):
+        collector = MetricsCollector()
+        collector.record_ping(True, 1.0, dead_evicted=True)
+        collector.record_ping(True, 2.0, dead_evicted=True)
+        collector.record_ping(False, 3.0, refusal_evicted=True)
+        report = collector.build_report()
+        assert report.dead_ping_evictions == 2
+        assert report.refusal_ping_evictions == 1
+        assert report.dead_evictions == 2
+        assert report.refusal_evictions == 1
+
+    def test_query_eviction_split_flows_from_results(self):
+        collector = MetricsCollector()
+        result = replace(
+            query_result(),
+            dead_evictions=3,
+            refusal_evictions=2,
+            suppressed_probes=4,
+            retries_denied=5,
+        )
+        collector.record_query(result, 1.0)
+        report = collector.build_report()
+        assert report.dead_query_evictions == 3
+        assert report.refusal_query_evictions == 2
+        assert report.suppressed_query_probes == 4
+        assert report.query_retries_denied == 5
+
+    def test_suppressed_and_denied_pings(self):
+        collector = MetricsCollector()
+        collector.record_suppressed_ping(1.0)
+        collector.record_suppressed_ping(2.0)
+        collector.record_ping(True, 3.0, denied=True)
+        report = collector.build_report()
+        assert report.suppressed_pings == 2
+        assert report.ping_retries_denied == 1
+        assert report.suppressed_probes == 2
+        assert report.retries_denied == 1
+
+    def test_shed_pings_harvested_from_peers(self):
+        collector = MetricsCollector()
+        collector.harvest_peer(1, 10, 2, pings_shed=4)
+        collector.harvest_peer(2, 5, 0, pings_shed=1)
+        assert collector.build_report().pings_shed == 5
+
+    def test_wrongful_evictions_unchanged_by_split(self):
+        # The PR-3 spurious-loss counter is orthogonal to the new
+        # cause split: a wrongful eviction is also a dead eviction.
+        collector = MetricsCollector()
+        collector.record_ping(
+            True, 1.0, spurious=True, wrongful=True, dead_evicted=True
+        )
+        report = collector.build_report()
+        assert report.wrongful_ping_evictions == 1
+        assert report.dead_ping_evictions == 1
+        assert report.refusal_ping_evictions == 0
+
+
+class TestSatisfactionWindows:
+    def test_disabled_by_default(self):
+        collector = MetricsCollector()
+        collector.record_query(query_result(), 1.0)
+        assert collector.build_report().satisfaction_windows == ()
+
+    def test_windows_count_queries_and_satisfied(self):
+        collector = MetricsCollector(satisfaction_window=10.0)
+        collector.record_query(query_result(satisfied=True), 1.0)
+        collector.record_query(query_result(satisfied=False), 2.0)
+        collector.record_query(query_result(satisfied=True), 15.0)
+        windows = collector.build_report().satisfaction_windows
+        assert windows == ((0.0, 10.0, 2, 1), (10.0, 20.0, 1, 1))
+
+    def test_final_partial_window_flushed(self):
+        collector = MetricsCollector(satisfaction_window=10.0)
+        collector.record_query(query_result(satisfied=True), 25.0)
+        windows = collector.build_report().satisfaction_windows
+        assert windows == ((20.0, 30.0, 1, 1),)
+
+    def test_idle_windows_skipped(self):
+        collector = MetricsCollector(satisfaction_window=10.0)
+        collector.record_query(query_result(), 1.0)
+        collector.record_query(query_result(), 55.0)
+        windows = collector.build_report().satisfaction_windows
+        assert [w[:2] for w in windows] == [(0.0, 10.0), (50.0, 60.0)]
+
+    def test_warmup_filtered(self):
+        collector = MetricsCollector(warmup=20.0, satisfaction_window=10.0)
+        collector.record_query(query_result(), 5.0)
+        collector.record_query(query_result(), 25.0)
+        windows = collector.build_report().satisfaction_windows
+        assert windows == ((20.0, 30.0, 1, 1),)

@@ -26,10 +26,21 @@ from repro.observe.manifest import (
     protocol_from_jsonable,
     protocol_to_jsonable,
     replay_config,
+    resilience_from_jsonable,
+    resilience_to_jsonable,
+    scenarios_from_jsonable,
+    scenarios_to_jsonable,
     system_from_jsonable,
     system_to_jsonable,
     verify_manifest,
     write_manifest,
+)
+from repro.resilience import (
+    BreakerSpec,
+    ChurnStorm,
+    FlashCrowd,
+    ResiliencePolicy,
+    ScenarioPlan,
 )
 from repro.sim.rng import derive_seed
 
@@ -73,6 +84,34 @@ class TestParamRoundTrips:
     def test_rich_fault_plan_round_trips(self):
         data = json.loads(json.dumps(faults_to_jsonable(RICH_FAULTS)))
         assert faults_from_jsonable(data) == RICH_FAULTS
+
+    def test_scenarios_none_passthrough(self):
+        assert scenarios_to_jsonable(None) is None
+        assert scenarios_from_jsonable(None) is None
+
+    def test_scenario_plan_round_trips(self):
+        plan = ScenarioPlan(
+            storms=(
+                ChurnStorm(start=100.0, width=20.0, fraction=0.4),
+                ChurnStorm(start=200.0, width=5.0, fraction=0.0),
+            ),
+            crowds=(FlashCrowd(start=100.0, end=300.0, multiplier=5.0),),
+        )
+        data = json.loads(json.dumps(scenarios_to_jsonable(plan)))
+        assert scenarios_from_jsonable(data) == plan
+
+    def test_resilience_none_passthrough(self):
+        assert resilience_to_jsonable(None) is None
+        assert resilience_from_jsonable(None) is None
+
+    def test_resilience_policy_round_trips(self):
+        for policy in (
+            ResiliencePolicy.all_on(),
+            ResiliencePolicy(breaker=BreakerSpec(failure_threshold=5)),
+            ResiliencePolicy(),
+        ):
+            data = json.loads(json.dumps(resilience_to_jsonable(policy)))
+            assert resilience_from_jsonable(data) == policy
 
 
 class TestRecorderCapture:
@@ -167,6 +206,12 @@ class TestReplayAndVerify:
         assert len(problems) == 1
         assert "re-derive" in problems[0]
 
+    def test_scenario_free_entries_record_nulls(self, recorded):
+        (entry,) = recorded["configs"]
+        assert entry["scenarios"] is None
+        assert entry["resilience"] is None
+        assert entry["satisfaction_window"] is None
+
     def test_cli_ok_and_failure(self, recorded, tmp_path, capsys):
         good = tmp_path / "good.json"
         write_manifest(good, recorded)
@@ -179,3 +224,64 @@ class TestReplayAndVerify:
         write_manifest(bad, tampered)
         assert main([str(bad)]) == 1
         assert "diverge" in capsys.readouterr().out
+
+
+class TestScenarioReplay:
+    """A recorded scenario run must round-trip and replay bit-for-bit."""
+
+    PLAN = ScenarioPlan(
+        storms=(ChurnStorm(start=5.0, width=5.0, fraction=0.4),),
+        crowds=(FlashCrowd(start=5.0, end=15.0, multiplier=3.0),),
+    )
+
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        recorder = ManifestRecorder()
+        with activated(recorder):
+            run_guess_config(
+                SMALL_SYSTEM,
+                ProtocolParams(probe_retries=1),
+                scenarios=self.PLAN,
+                resilience=ResiliencePolicy.all_on(),
+                satisfaction_window=10.0,
+                **SMALL_KW,
+            )
+        return recorder.build(
+            profile="micro", suites=["churn_storm"], workers=1,
+            wall_clock_seconds=0.0,
+        )
+
+    def test_entry_records_the_plan(self, recorded):
+        (entry,) = recorded["configs"]
+        assert scenarios_from_jsonable(entry["scenarios"]) == self.PLAN
+        assert (
+            resilience_from_jsonable(entry["resilience"])
+            == ResiliencePolicy.all_on()
+        )
+        assert entry["satisfaction_window"] == 10.0
+
+    def test_json_round_trip_preserves_entry(self, recorded):
+        assert json.loads(json.dumps(recorded)) == recorded
+
+    def test_replay_reproduces_scenario_digests(self, recorded):
+        (entry,) = recorded["configs"]
+        assert replay_config(entry) == tuple(entry["trace_digests"])
+
+    def test_verify_ok(self, recorded):
+        assert verify_manifest(recorded) == []
+
+    def test_old_manifest_without_scenario_keys_still_replays(
+        self, recorded
+    ):
+        # Forward compatibility with pre-resilience manifests: entries
+        # that predate the scenario keys replay as scenario-free runs.
+        recorder = ManifestRecorder()
+        with activated(recorder):
+            run_guess_config(SMALL_SYSTEM, ProtocolParams(), **SMALL_KW)
+        (entry,) = recorder.configs
+        legacy = {
+            key: value
+            for key, value in entry.items()
+            if key not in ("scenarios", "resilience", "satisfaction_window")
+        }
+        assert replay_config(legacy) == tuple(legacy["trace_digests"])

@@ -1,0 +1,93 @@
+"""Tests for the windowed time-to-recovery reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.recovery import (
+    SatisfactionWindow,
+    baseline_rate,
+    time_to_recovery,
+    to_windows,
+)
+
+
+def _w(start, end, queries, satisfied):
+    return SatisfactionWindow(start, end, queries, satisfied)
+
+
+class TestSatisfactionWindow:
+    def test_rate(self):
+        assert _w(0, 25, 10, 8).rate == pytest.approx(0.8)
+
+    def test_idle_window_rate_zero(self):
+        assert _w(0, 25, 0, 0).rate == 0.0
+
+
+class TestBaselineRate:
+    def test_pools_counts_not_rates(self):
+        windows = [_w(0, 25, 90, 90), _w(25, 50, 10, 0)]
+        # Pooled: 90/100, not mean(1.0, 0.0) = 0.5.
+        assert baseline_rate(windows, before=50.0) == pytest.approx(0.9)
+
+    def test_excludes_windows_past_cutoff(self):
+        windows = [_w(0, 25, 10, 10), _w(25, 50, 10, 0)]
+        assert baseline_rate(windows, before=25.0) == 1.0
+
+    def test_no_qualifying_windows(self):
+        assert baseline_rate([], before=100.0) == 0.0
+        assert baseline_rate([_w(0, 25, 0, 0)], before=100.0) == 0.0
+
+
+class TestTimeToRecovery:
+    WINDOWS = [
+        _w(0, 25, 20, 18),     # baseline
+        _w(25, 50, 20, 4),     # storm dip
+        _w(50, 75, 20, 10),    # partial recovery
+        _w(75, 100, 20, 18),   # recovered
+    ]
+
+    def test_first_recovered_window_counts(self):
+        assert time_to_recovery(
+            self.WINDOWS, after=25.0, baseline=0.9
+        ) == pytest.approx(75.0)
+
+    def test_threshold_scales_target(self):
+        assert time_to_recovery(
+            self.WINDOWS, after=25.0, baseline=0.9, threshold=0.5
+        ) == pytest.approx(50.0)
+
+    def test_unrecovered_is_inf(self):
+        windows = [_w(0, 25, 20, 18), _w(25, 50, 20, 2)]
+        assert time_to_recovery(
+            windows, after=25.0, baseline=0.9
+        ) == float("inf")
+
+    def test_zero_baseline_is_inf(self):
+        assert time_to_recovery(
+            self.WINDOWS, after=25.0, baseline=0.0
+        ) == float("inf")
+
+    def test_min_queries_skips_sparse_windows(self):
+        windows = [
+            _w(0, 25, 20, 18),
+            _w(25, 50, 1, 1),     # sparse fluke at rate 1.0
+            _w(50, 75, 20, 18),
+        ]
+        assert time_to_recovery(
+            windows, after=25.0, baseline=0.9, min_queries=5
+        ) == pytest.approx(50.0)
+
+    def test_windows_ending_at_after_excluded(self):
+        windows = [_w(0, 25, 20, 18), _w(25, 50, 20, 18)]
+        assert time_to_recovery(
+            windows, after=25.0, baseline=0.9
+        ) == pytest.approx(25.0)
+
+
+class TestToWindows:
+    def test_adapts_plain_rows(self):
+        rows = ((0.0, 25.0, 10, 8), (25.0, 50.0, 5, 5))
+        windows = to_windows(rows)
+        assert windows[0].rate == pytest.approx(0.8)
+        assert windows[1] == _w(25.0, 50.0, 5, 5)
