@@ -24,9 +24,16 @@ Quickstart::
           f"{report.unsatisfied_rate:.1%} unsatisfied")
 """
 
+from repro.baselines import (
+    GossipParams,
+    GossipPlan,
+    GossipSearch,
+    GossipSummary,
+)
 from repro.core import (
     BadPongBehavior,
     CacheEntry,
+    FaultyReporter,
     GuessPeer,
     GuessSimulation,
     LinkCache,
@@ -80,7 +87,12 @@ __all__ = [
     "execute_query",
     "registered_policy_names",
     "FaultPlan",
+    "FaultyReporter",
     "RetryPolicy",
+    "GossipParams",
+    "GossipPlan",
+    "GossipSearch",
+    "GossipSummary",
     "BreakerSpec",
     "BudgetSpec",
     "ChurnStorm",

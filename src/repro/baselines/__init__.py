@@ -7,8 +7,12 @@
 * :mod:`repro.baselines.iterative_deepening` — coarse-grained flexible
   extent: successive re-floods at growing extents (Yang & Garcia-Molina
   [22]).
+* :mod:`repro.baselines.gossip` — rumor-spreading (push/pull/push-pull)
+  search, plus the :class:`~repro.baselines.gossip.GossipPlan` arming
+  gossip-assisted GUESS in :mod:`repro.core.network_sim`.
 
-These drive Figure 8's cost/unsatisfaction tradeoff curves.
+These drive Figure 8's cost/unsatisfaction tradeoff curves and the
+gossip-search comparison suite.
 """
 
 from repro.baselines.extent import PopulationView
@@ -17,6 +21,13 @@ from repro.baselines.gnutella import (
     GnutellaOverlay,
     fixed_extent_tradeoff,
 )
+from repro.baselines.gossip import (
+    GossipParams,
+    GossipPlan,
+    GossipRelay,
+    GossipSearch,
+    GossipSummary,
+)
 from repro.baselines.iterative_deepening import IterativeDeepeningSearch
 
 __all__ = [
@@ -24,5 +35,10 @@ __all__ = [
     "FixedExtentSearch",
     "GnutellaOverlay",
     "fixed_extent_tradeoff",
+    "GossipParams",
+    "GossipPlan",
+    "GossipRelay",
+    "GossipSearch",
+    "GossipSummary",
     "IterativeDeepeningSearch",
 ]

@@ -221,6 +221,37 @@ class GnutellaOverlay:
                 frontier.append((neighbor, node, depth + 1))
         return transmissions, duplicates
 
+    def flood_receipts(self, source: int, ttl: int) -> Dict[int, int]:
+        """Per-peer receipt counts of a TTL-bounded flood.
+
+        Returns:
+            Mapping of peer to the number of copies of the query it
+            received (duplicates included) — the per-peer load column of
+            the gossip-search comparison, where flooding's max load is
+            its duplicate hot-spots.  The source itself never appears
+            (a peer does not message itself).
+        """
+        if not 0 <= source < self.n:
+            raise TopologyError(f"source {source} out of range")
+        if ttl < 0:
+            raise TopologyError(f"ttl must be >= 0, got {ttl}")
+        seen = {source}
+        receipts: Dict[int, int] = {}
+        frontier = deque([(source, None, 0)])
+        while frontier:
+            node, received_from, depth = frontier.popleft()
+            if depth == ttl:
+                continue
+            for neighbor in self._neighbors[node]:
+                if neighbor == received_from:
+                    continue
+                receipts[neighbor] = receipts.get(neighbor, 0) + 1
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                frontier.append((neighbor, node, depth + 1))
+        return receipts
+
     def amplification_factor(self, source: int, ttl: int) -> float:
         """Transmissions caused per message the source itself sends.
 

@@ -16,7 +16,11 @@ Public surface:
 from repro.core import policy_impls as _policy_impls  # registers policies
 from repro.core.entry import CacheEntry
 from repro.core.link_cache import LinkCache
-from repro.core.malicious import AttackDirectory, MaliciousPeer
+from repro.core.malicious import (
+    AttackDirectory,
+    FaultyReporter,
+    MaliciousPeer,
+)
 from repro.core.messages import Ping, Pong, Query, QueryReply, Refusal
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import (
@@ -42,6 +46,7 @@ __all__ = [
     "CacheEntry",
     "LinkCache",
     "AttackDirectory",
+    "FaultyReporter",
     "MaliciousPeer",
     "Ping",
     "Pong",

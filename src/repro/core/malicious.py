@@ -20,6 +20,14 @@ good peers' link caches through the Pong mechanism:
 Malicious peers are *passive* attackers here, as in the paper's model:
 they respond to probes but originate no pings or queries of their own
 (Section 6.4 describes them purely through their responses).
+
+A second, milder adversary lives alongside them: the
+:class:`FaultyReporter` (à la Consenzus), a peer with a *real* library
+that follows the protocol except for misreporting query result counts —
+inflating them by a fixed offset or suppressing them entirely (and, in
+suppress mode, refusing to relay gossip rumors).  Replies carry the
+omniscient ``true_results`` field so metrics can keep an honest
+satisfaction channel next to the perceived one.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ import random
 from typing import List, Sequence
 
 from repro.core.entry import CacheEntry
-from repro.core.messages import Pong
+from repro.core.messages import Pong, Query, QueryReply
 from repro.core.params import BadPongBehavior
 from repro.core.peer import GuessPeer
 from repro.network.address import Address
@@ -178,3 +186,69 @@ class MaliciousPeer(GuessPeer):
         if reply.num_results:
             raise AssertionError("malicious peers must not return results")
         return reply
+
+
+class FaultyReporter(GuessPeer):
+    """A protocol-following peer that lies about result counts.
+
+    Same constructor as :class:`GuessPeer` plus the misreporting knobs.
+    Unlike :class:`MaliciousPeer` it holds a real library, serves honest
+    pongs, pings, and queries of its own — only the ``num_results`` claim
+    in its query replies is falsified:
+
+    * ``"inflate"``: claim ``true + report_offset`` results, so even a
+      peer with no match advertises hits (and the inflated claim feeds
+      the trusting MR ranking at the prober);
+    * ``"suppress"``: claim zero results and refuse to relay gossip
+      rumors (:attr:`suppresses_gossip`).
+
+    Every falsified reply carries ``true_results`` so collectors can
+    account satisfaction honestly while ``results_per_query`` shows the
+    perceived (inflated/deflated) count.
+
+    Args:
+        report_mode: ``"inflate"`` or ``"suppress"``.
+        report_offset: results added per reply in inflate mode.
+    """
+
+    faulty = True
+
+    __slots__ = ("report_mode", "report_offset", "suppresses_gossip")
+
+    def __init__(
+        self,
+        *args,
+        report_mode: str = "inflate",
+        report_offset: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if report_mode not in ("inflate", "suppress"):
+            raise ValueError(
+                f"report_mode must be 'inflate' or 'suppress', "
+                f"got {report_mode!r}"
+            )
+        if report_offset < 1:
+            raise ValueError(
+                f"report_offset must be >= 1, got {report_offset}"
+            )
+        self.report_mode = report_mode
+        self.report_offset = int(report_offset)
+        self.suppresses_gossip = report_mode == "suppress"
+
+    def _handle_query(self, message: Query, time: float) -> QueryReply:
+        """The honest reply, with the claim falsified per the mode."""
+        reply = super()._handle_query(message, time)
+        true_results = reply.num_results
+        if self.report_mode == "inflate":
+            claimed = true_results + self.report_offset
+        else:
+            claimed = 0
+        if claimed == true_results:
+            return reply  # suppressing a zero is not a lie
+        return QueryReply(
+            sender=reply.sender,
+            num_results=claimed,
+            pong=reply.pong,
+            true_results=true_results,
+        )

@@ -11,12 +11,16 @@ Four message kinds cover the protocol (paper Section 2):
 Every probe carries the sender's address and advertised file count so the
 receiver can apply the introduction rule (add the prober to its own cache
 with probability ``IntroProb``) without a separate handshake.
+
+The gossip-assisted GUESS hybrid (:mod:`repro.baselines.gossip`) adds a
+fifth exchange: :class:`GossipPush` carries an epidemically disseminated
+pong harvest and is answered by a :class:`GossipAck`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.entry import CacheEntry
 from repro.network.address import Address
@@ -62,14 +66,26 @@ class QueryReply:
 
     Attributes:
         sender: responder address.
-        num_results: results found for the query (0 if none).
+        num_results: results found for the query (0 if none) — the
+            *claimed* count; a faulty reporter may misstate it.
         pong: piggybacked cache-entry sharing (Section 2.3: a probed peer
             returns a Pong whether or not it found a match).
+        true_results: omniscient-observer field (never visible to the
+            protocol): the responder's actual match count when it differs
+            from the claim.  ``None`` means the claim is honest.
     """
 
     sender: Address
     num_results: int
     pong: Pong
+    true_results: Optional[int] = None
+
+    @property
+    def verified_results(self) -> int:
+        """The honest result count (the claim, unless it was a lie)."""
+        return (
+            self.num_results if self.true_results is None else self.true_results
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,3 +93,37 @@ class Refusal:
     """Overload notice: "back off" (paper Section 5.1/6.3)."""
 
     sender: Address
+
+
+@dataclass(frozen=True, slots=True)
+class GossipPush:
+    """Epidemic pong-harvest rumor (gossip-assisted GUESS).
+
+    Attributes:
+        sender: the peer forwarding the rumor (this hop's carrier).
+        origin: the peer whose ping harvest seeded the rumor.
+        entries: the disseminated cache-entry copies.
+        ttl: remaining forwarding hops after this delivery.
+    """
+
+    sender: Address
+    origin: Address
+    entries: Tuple[CacheEntry, ...] = field(default_factory=tuple)
+    ttl: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.entries, tuple):
+            object.__setattr__(self, "entries", tuple(self.entries))
+
+
+@dataclass(frozen=True, slots=True)
+class GossipAck:
+    """Reply to a :class:`GossipPush`.
+
+    Attributes:
+        sender: the acknowledging peer.
+        imported: entries the receiver actually admitted to its cache.
+    """
+
+    sender: Address
+    imported: int = 0

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.baselines.gossip import GossipPlan, GossipRelay
 from repro.core.entry import CacheEntry
-from repro.core.malicious import AttackDirectory, MaliciousPeer
+from repro.core.malicious import AttackDirectory, FaultyReporter, MaliciousPeer
+from repro.core.messages import GossipPush
 from repro.core.params import (
     ProtocolParams,
     SystemParams,
@@ -128,6 +130,14 @@ class GuessSimulation:
         satisfaction_window: width in seconds of the collector's
             satisfaction-tracking windows (feeds the time-to-recovery
             metric); ``None`` disables the channel.
+        gossip: optional :class:`~repro.baselines.gossip.GossipPlan`
+            arming gossip-assisted GUESS — every successful maintenance
+            ping's pong harvest is additionally pushed epidemically to
+            ``fanout`` link-cache contacts per hop for ``ttl`` hops.
+            ``None`` or a no-op plan (``fanout=0`` or ``ttl=0``) builds
+            no relay and reproduces the gossip-free trace digest
+            bit-for-bit; an armed relay draws only from the
+            ``gossip:*`` substreams.
 
     Example::
 
@@ -157,6 +167,7 @@ class GuessSimulation:
         scenarios: Optional[ScenarioPlan] = None,
         resilience: Optional[ResiliencePolicy] = None,
         satisfaction_window: Optional[float] = None,
+        gossip: Optional[GossipPlan] = None,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
@@ -167,6 +178,10 @@ class GuessSimulation:
         # missing/no-op plan leaves the hot paths branch-free.
         self.scenario = ScenarioDriver.from_plan(scenarios, self.rng)
         self.resilience = ResiliencePolicy.normalize(resilience)
+        # None for a missing/no-op plan (fanout=0 or ttl=0): the ping
+        # success path then carries no gossip branch at all, and the
+        # gossip:* substreams are never instantiated.
+        self.gossip = GossipRelay.from_plan(gossip, self.rng)
         # None for a missing/no-op plan: the hot paths below then carry
         # no observer branches at all (the from_plan -> None contract).
         self.observation = Observation.from_plan(observe)
@@ -269,9 +284,21 @@ class GuessSimulation:
         """Create the initial population and seed every link cache."""
         n = self.system.network_size
         bad_count = round(self.system.bad_peer_fraction * n)
-        roles = [True] * bad_count + [False] * (n - bad_count)
+        faulty_count = round(self.system.faulty_reporter_fraction * n)
+        # Three-valued roles: 2 = malicious, 1 = faulty reporter, 0 = good.
+        # The shuffle's draw count depends only on the list length, so a
+        # faulty_count of zero leaves the "churn" stream — and the trace
+        # digest — exactly as the old two-valued spelling did.
+        roles = (
+            [2] * bad_count
+            + [1] * faulty_count
+            + [0] * (n - bad_count - faulty_count)
+        )
         self.rng.stream("churn").shuffle(roles)
-        peers = [self._spawn_peer(0.0, malicious=role) for role in roles]
+        peers = [
+            self._spawn_peer(0.0, malicious=role == 2, faulty=role == 1)
+            for role in roles
+        ]
 
         # Seed each cache with CacheSeedSize random living peers.
         topology_rng = self.rng.stream("topology")
@@ -327,6 +354,7 @@ class GuessSimulation:
         self,
         now: float,
         malicious: bool,
+        faulty: bool = False,
         friend: Optional[GuessPeer] = None,
         is_rebirth: bool = False,
     ) -> GuessPeer:
@@ -334,7 +362,11 @@ class GuessSimulation:
 
         Args:
             now: birth time.
-            malicious: whether the newborn is an attacker.
+            malicious: whether the newborn is a cache-poisoning attacker.
+            faulty: whether the newborn is a faulty reporter (mutually
+                exclusive with ``malicious``); it draws exactly like a
+                good peer — real library, real lifetime — so arming the
+                role changes no stream's draw count.
             friend: live peer whose cache the newborn copies (random
                 friend seeding); None for the initial population, which
                 is seeded separately.
@@ -367,6 +399,13 @@ class GuessSimulation:
                 behavior=self.system.bad_pong_behavior,
                 directory=self.directory,
                 attack_rng=self.rng.stream("malicious"),
+                **common,
+            )
+        elif faulty:
+            peer = FaultyReporter(
+                address,
+                report_mode=self.system.faulty_reporter_mode,
+                report_offset=self.system.faulty_report_offset,
                 **common,
             )
         else:
@@ -445,9 +484,15 @@ class GuessSimulation:
         self._harvest(peer)
 
         # Rebirth keeps the live population at NetworkSize.  The newborn's
-        # role is a coin flip, keeping PercentBadPeers stationary.
-        malicious = (
-            self.rng.stream("churn").random() < self.system.bad_peer_fraction
+        # role is a coin flip, keeping PercentBadPeers (and
+        # PercentFaultyReporters) stationary.  One roll decides both
+        # roles so arming faulty reporters never adds a "churn" draw —
+        # the digest-stability contract the bootstrap shuffle also keeps.
+        roll = self.rng.stream("churn").random()
+        bad_fraction = self.system.bad_peer_fraction
+        malicious = roll < bad_fraction
+        faulty = (not malicious) and roll < (
+            bad_fraction + self.system.faulty_reporter_fraction
         )
         friend = self._pick_friend()
         self.engine.schedule(
@@ -455,7 +500,7 @@ class GuessSimulation:
             self._spawn_peer,
             priority=EventPriority.BIRTH,
             label="birth",
-            args=(now, malicious, friend, True),
+            args=(now, malicious, faulty, friend, True),
         )
 
     def _churn_storm(self, storm: ChurnStorm) -> None:
@@ -615,6 +660,96 @@ class GuessSimulation:
             dead=False, time=now, retries=retries, recovered=recovered,
             denied=denied,
         )
+        if self.gossip is not None and outcome.response.entries:
+            self._seed_rumor(peer, outcome.response, now)
+
+    # ------------------------------------------------------------------
+    # Gossip-assisted dissemination (repro.baselines.gossip)
+    # ------------------------------------------------------------------
+
+    def _seed_rumor(self, carrier: GuessPeer, pong, now: float) -> None:
+        """Start one epidemic rumor from a freshly harvested pong.
+
+        The probing peer becomes the rumor's origin/first carrier; the
+        first hop fires ``hop_delay`` later so dissemination rides the
+        engine (both schedulers, the fault layer, and receiver rate
+        limits all apply).  The per-rumor ``seen`` set is shared through
+        event args — events fire deterministically, so the mutation
+        order (hence every target choice) is reproducible.
+        """
+        relay = self.gossip
+        assert relay is not None  # guarded at the call site
+        self.collector.record_gossip_rumor(now)
+        seen = {carrier.address, pong.sender}
+        self.engine.schedule(
+            now + relay.plan.hop_delay,
+            self._gossip_hop,
+            priority=EventPriority.PROTOCOL,
+            label="gossip",
+            args=(carrier.address, carrier.address, pong.entries, relay.plan.ttl, seen),
+        )
+
+    def _gossip_hop(
+        self,
+        carrier_address: Address,
+        origin: Address,
+        entries,
+        ttl: int,
+        seen: set,
+    ) -> None:
+        """Push the rumor from one carrier to up to ``fanout`` fresh contacts.
+
+        Delivered pushes import entries at the receiver (attributed to
+        the rumor's origin) and — while ``ttl`` lasts — make the
+        receiver the next hop's carrier.  Malicious peers and
+        suppress-mode faulty reporters accept rumors but never relay
+        them (the suppression is counted).  A carrier that died before
+        its hop fired drops the rumor, exactly like a lost packet.
+        """
+        now = self.engine.now
+        carrier = self._store.get(carrier_address)
+        if carrier is None or not carrier.is_alive(now):
+            return
+        relay = self.gossip
+        assert relay is not None  # hops are only scheduled when armed
+        targets = relay.pick_targets(
+            [entry.address for entry in carrier.link_cache.entries()], seen
+        )
+        if not targets:
+            return
+        message = GossipPush(
+            sender=carrier_address, origin=origin, entries=entries, ttl=ttl
+        )
+        for target_address in targets:
+            seen.add(target_address)
+            outcome = self.transport.probe(
+                carrier_address, target_address, message, now
+            )
+            if outcome.status is ProbeStatus.DELIVERED:
+                self.collector.record_gossip_push(
+                    now, delivered=True, imported=outcome.response.imported
+                )
+                if ttl <= 1:
+                    continue
+                target = self._store.get(target_address)
+                if target is None:
+                    continue
+                if target.malicious or target.suppresses_gossip:
+                    self.collector.record_gossip_suppressed_forward(now)
+                    continue
+                self.engine.schedule(
+                    now + relay.plan.hop_delay,
+                    self._gossip_hop,
+                    priority=EventPriority.PROTOCOL,
+                    label="gossip",
+                    args=(target_address, origin, entries, ttl - 1, seen),
+                )
+            else:
+                self.collector.record_gossip_push(
+                    now,
+                    delivered=False,
+                    refused=outcome.status is ProbeStatus.REFUSED,
+                )
 
     # ------------------------------------------------------------------
     # Queries

@@ -71,6 +71,16 @@ class SystemParams:
             refusals entirely.
         percent_bad_peers: percentage (0-100) of peers that are malicious.
         bad_pong_behavior: what malicious peers return in pongs.
+        percent_faulty_reporters: percentage (0-100) of peers that are
+            faulty reporters — peers with real libraries that misreport
+            query result counts (à la Consenzus; see
+            :class:`~repro.core.malicious.FaultyReporter`).  Disjoint
+            from the malicious population.
+        faulty_reporter_mode: ``"inflate"`` (claim
+            ``true + faulty_report_offset`` results) or ``"suppress"``
+            (claim zero and refuse to relay gossip rumors).
+        faulty_report_offset: results added per reply by inflating
+            reporters.
     """
 
     network_size: int = 1000
@@ -80,6 +90,9 @@ class SystemParams:
     max_probes_per_second: int | None = 100
     percent_bad_peers: float = 0.0
     bad_pong_behavior: BadPongBehavior = BadPongBehavior.DEAD
+    percent_faulty_reporters: float = 0.0
+    faulty_reporter_mode: str = "inflate"
+    faulty_report_offset: int = 3
 
     def __post_init__(self) -> None:
         if self.network_size < 2:
@@ -113,11 +126,37 @@ class SystemParams:
                 f"bad_pong_behavior must be a BadPongBehavior, "
                 f"got {self.bad_pong_behavior!r}"
             )
+        if not 0.0 <= self.percent_faulty_reporters <= 100.0:
+            raise ConfigError(
+                "percent_faulty_reporters must be in [0, 100], "
+                f"got {self.percent_faulty_reporters}"
+            )
+        if self.percent_bad_peers + self.percent_faulty_reporters > 100.0:
+            raise ConfigError(
+                "percent_bad_peers + percent_faulty_reporters must not "
+                f"exceed 100, got {self.percent_bad_peers} + "
+                f"{self.percent_faulty_reporters}"
+            )
+        if self.faulty_reporter_mode not in ("inflate", "suppress"):
+            raise ConfigError(
+                "faulty_reporter_mode must be 'inflate' or 'suppress', "
+                f"got {self.faulty_reporter_mode!r}"
+            )
+        if self.faulty_report_offset < 1:
+            raise ConfigError(
+                "faulty_report_offset must be >= 1, "
+                f"got {self.faulty_report_offset}"
+            )
 
     @property
     def bad_peer_fraction(self) -> float:
         """percent_bad_peers as a probability."""
         return self.percent_bad_peers / 100.0
+
+    @property
+    def faulty_reporter_fraction(self) -> float:
+        """percent_faulty_reporters as a probability."""
+        return self.percent_faulty_reporters / 100.0
 
     def with_(self, **changes) -> "SystemParams":
         """Return a copy with ``changes`` applied (sweep helper)."""

@@ -27,7 +27,15 @@ from typing import FrozenSet, Optional, Tuple
 
 from repro.core.entry import CacheEntry
 from repro.core.link_cache import LinkCache
-from repro.core.messages import Ping, Pong, Query, QueryReply, Refusal
+from repro.core.messages import (
+    GossipAck,
+    GossipPush,
+    Ping,
+    Pong,
+    Query,
+    QueryReply,
+    Refusal,
+)
 from repro.core.params import ProtocolParams
 from repro.core.policies import PolicySet
 from repro.network.address import Address
@@ -63,6 +71,15 @@ class GuessPeer:
     #: Class-level flag distinguishing good peers from malicious ones in
     #: metrics without isinstance checks on the hot path.
     malicious: bool = False
+
+    #: Class-level flag for faulty reporters (misreporting adversaries);
+    #: see :class:`~repro.core.malicious.FaultyReporter`.
+    faulty: bool = False
+
+    #: True for peers that refuse to re-forward gossip rumors (the
+    #: suppress-mode faulty reporter); checked by the gossip-assisted
+    #: relay before scheduling the next hop.
+    suppresses_gossip: bool = False
 
     # At million-peer scale the per-peer ``__dict__`` (~100 bytes each,
     # plus boxed values) dominates RSS; fixed slots cut the per-peer
@@ -173,7 +190,7 @@ class GuessPeer:
     # ------------------------------------------------------------------
 
     def receive_probe(self, message, time: float) -> Tuple[bool, object]:
-        """Handle an incoming Ping or Query probe.
+        """Handle an incoming Ping, Query, or GossipPush probe.
 
         Returns:
             ``(accepted, response)`` per the transport's Endpoint
@@ -183,12 +200,13 @@ class GuessPeer:
         if self._limiter is not None:
             if (
                 self._soft_limit is not None
-                and isinstance(message, Ping)
+                and isinstance(message, (Ping, GossipPush))
                 and self._limiter.count(time) >= self._soft_limit
             ):
-                # Graded shedding: above the soft threshold pings are
-                # refused *without* consuming window capacity, reserving
-                # the remaining budget for queries.
+                # Graded shedding: above the soft threshold maintenance
+                # traffic (pings, gossip rumors) is refused *without*
+                # consuming window capacity, reserving the remaining
+                # budget for queries.
                 self.probes_refused += 1
                 self.pings_shed += 1
                 return False, Refusal(self.address)
@@ -199,6 +217,8 @@ class GuessPeer:
             return True, self._handle_ping(message, time)
         if isinstance(message, Query):
             return True, self._handle_query(message, time)
+        if isinstance(message, GossipPush):
+            return True, self._handle_gossip(message, time)
         raise TypeError(f"unsupported probe message: {message!r}")
 
     def _handle_ping(self, message: Ping, time: float) -> Pong:
@@ -216,6 +236,19 @@ class GuessPeer:
         pong = self.make_pong(self.policies.query_pong, time)
         self._maybe_introduce(message.sender, message.sender_num_files, time)
         return QueryReply(sender=self.address, num_results=num_results, pong=pong)
+
+    def _handle_gossip(self, message: GossipPush, time: float) -> GossipAck:
+        """Ingest an epidemically disseminated pong harvest.
+
+        The rumor's entries are attributed to the peer whose harvest
+        seeded it (defense provenance tracks the original source, not
+        the forwarding carrier); no introduction coin is flipped — a
+        rumor carries no advertised file count.
+        """
+        imported = self.import_pong_to_link_cache(
+            Pong(sender=message.origin, entries=message.entries), time
+        )
+        return GossipAck(sender=self.address, imported=imported)
 
     # ------------------------------------------------------------------
     # Pong construction and the introduction rule

@@ -123,6 +123,11 @@ class QueryResult:
             circuit breaker was open.
         retries_denied: probes whose retry schedule was cut short by an
             exhausted retry-token budget.
+        honest_results: omniscient-observer result count with faulty
+            reporters' lies undone (``None`` = identical to ``results``,
+            the case whenever no reply was falsified).
+        honest_satisfied: whether the honest count met
+            ``NumDesiredResults`` (``None`` = identical to ``satisfied``).
     """
 
     satisfied: bool
@@ -142,6 +147,22 @@ class QueryResult:
     refusal_evictions: int = 0
     suppressed_probes: int = 0
     retries_denied: int = 0
+    honest_results: Optional[int] = None
+    honest_satisfied: Optional[bool] = None
+
+    @property
+    def verified_results(self) -> int:
+        """The honest result count (equals ``results`` absent liars)."""
+        return self.results if self.honest_results is None else self.honest_results
+
+    @property
+    def verified_satisfied(self) -> bool:
+        """Honest satisfaction (equals ``satisfied`` absent liars)."""
+        return (
+            self.satisfied
+            if self.honest_satisfied is None
+            else self.honest_satisfied
+        )
 
 
 def execute_query(
@@ -194,6 +215,8 @@ def execute_query(
 
     message = peer.query_message(target_file)
     results = 0
+    honest_results = 0
+    falsified = False
     good = dead = refused = 0
     spurious = retries = recoveries = wrongful = 0
     dead_evictions = refusal_evictions = suppressed = denied = 0
@@ -355,6 +378,9 @@ def execute_query(
                 peer.offer_entry_to_link_cache(entry, wave_time)
 
             results += reply.num_results
+            honest_results += reply.verified_results
+            if reply.true_results is not None:
+                falsified = True
             if results >= desired_results and response_time is None:
                 # outcome.rtt already folds in any retry waiting.
                 response_time = wave_offset + outcome.rtt
@@ -415,4 +441,10 @@ def execute_query(
         refusal_evictions=refusal_evictions,
         suppressed_probes=suppressed,
         retries_denied=denied,
+        # The None sentinel keeps falsification-free queries (the
+        # overwhelmingly common case) carrying no redundant state.
+        honest_results=honest_results if falsified else None,
+        honest_satisfied=(
+            honest_results >= desired_results if falsified else None
+        ),
     )

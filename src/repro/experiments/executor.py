@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.baselines.gossip import GossipPlan
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
 from repro.errors import ChaosError, ConfigError
@@ -140,6 +141,9 @@ class TrialSpec:
         satisfaction_window: width of the collector's windowed
             satisfaction channel (``None`` = off), feeding the
             time-to-recovery metric.
+        gossip: optional gossip-assisted GUESS plan (frozen, hence
+            picklable); ``None`` or a no-op plan runs the gossip-free
+            code path bit-identically.
     """
 
     system: SystemParams
@@ -156,6 +160,7 @@ class TrialSpec:
     scenarios: Optional[ScenarioPlan] = None
     resilience: Optional[ResiliencePolicy] = None
     satisfaction_window: Optional[float] = None
+    gossip: Optional[GossipPlan] = None
 
 
 def execute_trial(spec: TrialSpec) -> SimulationReport:
@@ -175,6 +180,7 @@ def execute_trial(spec: TrialSpec) -> SimulationReport:
         scenarios=spec.scenarios,
         resilience=spec.resilience,
         satisfaction_window=spec.satisfaction_window,
+        gossip=spec.gossip,
     )
     # Profiling hook: when a profiler is active in this process, the
     # engine reports this trial's (events, wall, sim-seconds) sample.

@@ -11,9 +11,10 @@ Usage::
 
 ``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``,
 ``loss_grid``, ``loss_satisfaction``, ``storm_grid``,
-``storm_recovery``) or suite names (``cache_size``, ``ping_interval``,
-``flexible_extent``, ``policy_comparison``, ``fairness``, ``capacity``,
-``malicious``, ``ablations``, ``packet_loss``, ``churn_storm``);
+``storm_recovery``, ``gossip_compare``, ``gossip_faulty``) or suite
+names (``cache_size``, ``ping_interval``, ``flexible_extent``,
+``policy_comparison``, ``fairness``, ``capacity``, ``malicious``,
+``ablations``, ``packet_loss``, ``churn_storm``, ``gossip_search``);
 ``--suite`` is an alias accepting the same tokens.
 
 ``--supervise`` runs every trial under
@@ -46,6 +47,7 @@ from repro.experiments import (
     churn_storm,
     fairness,
     flexible_extent,
+    gossip_search,
     malicious,
     packet_loss,
     ping_interval,
@@ -81,6 +83,7 @@ SUITES: Dict[str, Callable] = {
     "ablations": ablations.run_suite,
     "packet_loss": packet_loss.run_suite,
     "churn_storm": churn_storm.run_suite,
+    "gossip_search": gossip_search.run_suite,
 }
 
 #: Experiment id -> the suite that produces it.
@@ -109,6 +112,8 @@ EXPERIMENT_SUITE: Dict[str, str] = {
     "loss_satisfaction": "packet_loss",
     "storm_grid": "churn_storm",
     "storm_recovery": "churn_storm",
+    "gossip_compare": "gossip_search",
+    "gossip_faulty": "gossip_search",
 }
 
 #: Exit codes beyond 0/1: quarantines happened (sweep completed but some

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.baselines.gossip import GossipPlan
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
 from repro.errors import TrialFailure
@@ -96,6 +97,7 @@ def run_guess_config(
     scenarios: Optional[ScenarioPlan] = None,
     resilience: Optional[ResiliencePolicy] = None,
     satisfaction_window: Optional[float] = None,
+    gossip: Optional[GossipPlan] = None,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
 
@@ -143,6 +145,10 @@ def run_guess_config(
         satisfaction_window: width of the collector's windowed
             satisfaction channel (feeds time-to-recovery); ``None``
             disables it.
+        gossip: optional gossip-assisted GUESS plan applied to every
+            trial; ``None`` or a no-op plan reproduces the gossip-free
+            runs exactly.  Recorded in the manifest alongside the fault
+            plan.
 
     Returns:
         One report per trial, in trial order.  Under a supervised
@@ -167,6 +173,7 @@ def run_guess_config(
             scenarios=scenarios,
             resilience=resilience,
             satisfaction_window=satisfaction_window,
+            gossip=gossip,
         )
         for trial in range(trials)
     ]
@@ -186,6 +193,7 @@ def run_guess_config(
                 scenarios=scenarios,
                 resilience=resilience,
                 satisfaction_window=satisfaction_window,
+                gossip=gossip,
             )
             mutate(sim)
             sim.run(warmup + duration)
@@ -211,6 +219,7 @@ def run_guess_config(
             scenarios=scenarios,
             resilience=resilience,
             satisfaction_window=satisfaction_window,
+            gossip=gossip,
         )
     return reports
 

@@ -60,9 +60,11 @@ class AdaptiveMaintenanceSimulation(GuessSimulation):
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def _spawn_peer(self, now, malicious, friend=None, is_rebirth=False):
+    def _spawn_peer(self, now, malicious, faulty=False, friend=None,
+                    is_rebirth=False):
         peer = super()._spawn_peer(
-            now, malicious, friend=friend, is_rebirth=is_rebirth
+            now, malicious, faulty=faulty, friend=friend,
+            is_rebirth=is_rebirth,
         )
         if not malicious:
             self._controllers[peer.address] = self._controller_factory(

@@ -160,9 +160,11 @@ def install_defense(sim, config: DefenseConfig | None = None) -> None:
 
     original_spawn = sim._spawn_peer
 
-    def spawning(now, malicious, friend=None, is_rebirth=False):
+    def spawning(now, malicious, faulty=False, friend=None,
+                 is_rebirth=False):
         peer = original_spawn(
-            now, malicious, friend=friend, is_rebirth=is_rebirth
+            now, malicious, faulty=faulty, friend=friend,
+            is_rebirth=is_rebirth,
         )
         if not peer.malicious:
             peer.defense = PongDefense(config)

@@ -100,9 +100,11 @@ class SelfishGuessSimulation(GuessSimulation):
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def _spawn_peer(self, now, malicious, friend=None, is_rebirth=False):
+    def _spawn_peer(self, now, malicious, faulty=False, friend=None,
+                    is_rebirth=False):
         peer = super()._spawn_peer(
-            now, malicious, friend=friend, is_rebirth=is_rebirth
+            now, malicious, faulty=faulty, friend=friend,
+            is_rebirth=is_rebirth,
         )
         if not malicious and self._selfish_fraction > 0.0:
             if self.rng.stream("selfish").random() < self._selfish_fraction:

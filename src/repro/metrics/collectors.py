@@ -18,9 +18,12 @@ docstring.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.core.search import QueryResult
+if TYPE_CHECKING:  # annotation-only: a runtime import would close the
+    # baselines → metrics → core → metrics cycle.
+    from repro.core.search import QueryResult
+
 from repro.metrics.load import LoadDistribution
 from repro.metrics.summary import mean, ratio
 from repro.network.address import Address
@@ -69,6 +72,8 @@ class _QueryAggregate:
     refusal_evictions: int = 0
     suppressed: int = 0
     retries_denied: int = 0
+    honest_results: int = 0
+    honest_satisfied: int = 0
     response_time_sum: float = 0.0
     response_time_count: int = 0
 
@@ -113,6 +118,13 @@ class MetricsCollector:
     METRIC_REFUSAL_PING_EVICTIONS = "sim.refusal_ping_evictions"
     METRIC_SUPPRESSED_PINGS = "sim.suppressed_pings"
     METRIC_PING_RETRIES_DENIED = "sim.ping_retries_denied"
+    #: Instruments of the gossip-assisted relay channel.
+    METRIC_GOSSIP_RUMORS = "sim.gossip_rumors"
+    METRIC_GOSSIP_PUSHES = "sim.gossip_pushes"
+    METRIC_GOSSIP_DELIVERED = "sim.gossip_delivered"
+    METRIC_GOSSIP_REFUSED = "sim.gossip_refused"
+    METRIC_GOSSIP_IMPORTS = "sim.gossip_imports"
+    METRIC_GOSSIP_SUPPRESSED = "sim.gossip_suppressed_forwards"
     #: Instruments of the private satisfaction-window channel.
     METRIC_WINDOW_QUERIES = "sim.window_queries"
     METRIC_WINDOW_SATISFIED = "sim.window_satisfied"
@@ -161,6 +173,24 @@ class MetricsCollector:
         )
         self._c_ping_denied = self._registry.counter(
             self.METRIC_PING_RETRIES_DENIED
+        )
+        self._c_gossip_rumors = self._registry.counter(
+            self.METRIC_GOSSIP_RUMORS
+        )
+        self._c_gossip_pushes = self._registry.counter(
+            self.METRIC_GOSSIP_PUSHES
+        )
+        self._c_gossip_delivered = self._registry.counter(
+            self.METRIC_GOSSIP_DELIVERED
+        )
+        self._c_gossip_refused = self._registry.counter(
+            self.METRIC_GOSSIP_REFUSED
+        )
+        self._c_gossip_imports = self._registry.counter(
+            self.METRIC_GOSSIP_IMPORTS
+        )
+        self._c_gossip_suppressed = self._registry.counter(
+            self.METRIC_GOSSIP_SUPPRESSED
         )
         # The satisfaction-window channel: a private windowed registry
         # so the report can expose per-window (queries, satisfied) rows
@@ -223,6 +253,8 @@ class MetricsCollector:
         agg.refusal_evictions += result.refusal_evictions
         agg.suppressed += result.suppressed_probes
         agg.retries_denied += result.retries_denied
+        agg.honest_results += result.verified_results
+        agg.honest_satisfied += 1 if result.verified_satisfied else 0
         if result.response_time is not None:
             agg.response_time_sum += result.response_time
             agg.response_time_count += 1
@@ -278,6 +310,49 @@ class MetricsCollector:
                 self._c_wrongful_pings.inc()
             if dead_evicted:
                 self._c_dead_ping_evictions.inc()
+
+    def record_gossip_rumor(self, time: float) -> None:
+        """Count one rumor seeded from a ping's pong harvest."""
+        if time < self.warmup:
+            return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_gossip_rumors.inc()
+
+    def record_gossip_push(
+        self,
+        time: float,
+        *,
+        delivered: bool,
+        imported: int = 0,
+        refused: bool = False,
+    ) -> None:
+        """Record one GossipPush send and its outcome.
+
+        Args:
+            time: send timestamp (warmup-filtered).
+            delivered: the push reached a live peer and was accepted.
+            imported: cache entries the receiver actually admitted.
+            refused: the receiver shed the push (rate limit / shedding).
+        """
+        if time < self.warmup:
+            return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_gossip_pushes.inc()
+        if delivered:
+            self._c_gossip_delivered.inc()
+            self._c_gossip_imports.inc(imported)
+        elif refused:
+            self._c_gossip_refused.inc()
+
+    def record_gossip_suppressed_forward(self, time: float) -> None:
+        """Count a forwarding hop a suppress-mode reporter refused to relay."""
+        if time < self.warmup:
+            return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_gossip_suppressed.inc()
 
     def record_suppressed_ping(self, time: float) -> None:
         """Record a maintenance ping skipped by an open circuit breaker."""
@@ -405,6 +480,30 @@ class MetricsCollector:
     def ping_retries_denied(self) -> int:
         return self._c_ping_denied.value
 
+    @property
+    def gossip_rumors(self) -> int:
+        return self._c_gossip_rumors.value
+
+    @property
+    def gossip_pushes(self) -> int:
+        return self._c_gossip_pushes.value
+
+    @property
+    def gossip_delivered(self) -> int:
+        return self._c_gossip_delivered.value
+
+    @property
+    def gossip_refused(self) -> int:
+        return self._c_gossip_refused.value
+
+    @property
+    def gossip_imports(self) -> int:
+        return self._c_gossip_imports.value
+
+    @property
+    def gossip_suppressed_forwards(self) -> int:
+        return self._c_gossip_suppressed.value
+
     def _satisfaction_windows(self) -> tuple:
         """Flush and render the satisfaction channel's window rows.
 
@@ -476,6 +575,14 @@ class MetricsCollector:
             refusal_query_evictions=agg.refusal_evictions,
             suppressed_query_probes=agg.suppressed,
             query_retries_denied=agg.retries_denied,
+            total_honest_results=agg.honest_results,
+            honest_satisfied_queries=agg.honest_satisfied,
+            gossip_rumors=self.gossip_rumors,
+            gossip_pushes=self.gossip_pushes,
+            gossip_delivered=self.gossip_delivered,
+            gossip_refused=self.gossip_refused,
+            gossip_imports=self.gossip_imports,
+            gossip_suppressed_forwards=self.gossip_suppressed_forwards,
             spurious_dead_pings=self.spurious_dead_pings,
             ping_retries=self.ping_retries,
             ping_retry_recoveries=self.ping_retry_recoveries,
@@ -532,6 +639,21 @@ class SimulationReport:
     suppressed_query_probes: int = 0
     #: Query probes whose retries were cut short by the token budget.
     query_retries_denied: int = 0
+    #: Honest (omniscient-observer) results across all queries; equals
+    #: ``total_results`` unless faulty reporters falsified claims.
+    total_honest_results: int = 0
+    #: Queries satisfied under honest result accounting.
+    honest_satisfied_queries: int = 0
+    #: Gossip-assisted relay accounting (all zero when the relay is off):
+    #: rumors seeded from ping harvests, GossipPush sends, pushes accepted
+    #: by a live receiver, pushes shed/refused, cache entries imported off
+    #: rumors, and forwarding hops suppress-mode reporters refused.
+    gossip_rumors: int = 0
+    gossip_pushes: int = 0
+    gossip_delivered: int = 0
+    gossip_refused: int = 0
+    gossip_imports: int = 0
+    gossip_suppressed_forwards: int = 0
     #: Dead pings whose target was live (fault-injected losses).
     spurious_dead_pings: int = 0
     #: Extra ping sends made by the retry policy.
@@ -613,8 +735,29 @@ class SimulationReport:
 
     @property
     def results_per_query(self) -> float:
-        """Average results returned per query."""
+        """Average results returned per query (as *claimed* by responders)."""
         return ratio(self.total_results, self.queries)
+
+    # -- Honest accounting (repro.core.malicious.FaultyReporter) ---------
+
+    @property
+    def honest_results_per_query(self) -> float:
+        """Average honest (omniscient) results per query.
+
+        Equals :attr:`results_per_query` unless faulty reporters inflated
+        or suppressed their claims.
+        """
+        return ratio(self.total_honest_results, self.queries)
+
+    @property
+    def honest_satisfaction_rate(self) -> float:
+        """Satisfaction under honest result accounting."""
+        return ratio(self.honest_satisfied_queries, self.queries)
+
+    @property
+    def gossip_delivery_rate(self) -> float:
+        """Fraction of GossipPush sends accepted by a live receiver."""
+        return ratio(self.gossip_delivered, self.gossip_pushes)
 
     @property
     def spurious_timeouts_per_query(self) -> float:

@@ -40,6 +40,7 @@ from typing import (
     Union,
 )
 
+from repro.baselines.gossip import GossipPlan
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
 from repro.faults.plan import (
     BrownoutSpec,
@@ -165,6 +166,24 @@ def resilience_from_jsonable(
     )
 
 
+def gossip_to_jsonable(
+    gossip: Optional[GossipPlan],
+) -> Optional[Dict[str, Any]]:
+    """JSON-ready dict for a :class:`GossipPlan` (None stays None)."""
+    if gossip is None:
+        return None
+    return asdict(gossip)
+
+
+def gossip_from_jsonable(
+    data: Optional[Dict[str, Any]],
+) -> Optional[GossipPlan]:
+    """Inverse of :func:`gossip_to_jsonable`."""
+    if data is None:
+        return None
+    return GossipPlan(**data)
+
+
 # ----------------------------------------------------------------------
 # Recording
 # ----------------------------------------------------------------------
@@ -193,6 +212,7 @@ class ManifestRecorder:
         scenarios: Optional[ScenarioPlan] = None,
         resilience: Optional[ResiliencePolicy] = None,
         satisfaction_window: Optional[float] = None,
+        gossip: Optional[GossipPlan] = None,
     ) -> None:
         """Append one executed configuration with its seeds and digests."""
         self.configs.append({
@@ -201,6 +221,7 @@ class ManifestRecorder:
             "faults": faults_to_jsonable(faults),
             "scenarios": scenarios_to_jsonable(scenarios),
             "resilience": resilience_to_jsonable(resilience),
+            "gossip": gossip_to_jsonable(gossip),
             "satisfaction_window": satisfaction_window,
             "duration": duration,
             "warmup": warmup,
@@ -309,6 +330,7 @@ def specs_for_entry(entry: Dict[str, Any]) -> List[TrialSpec]:
             scenarios=scenarios_from_jsonable(entry.get("scenarios")),
             resilience=resilience_from_jsonable(entry.get("resilience")),
             satisfaction_window=entry.get("satisfaction_window"),
+            gossip=gossip_from_jsonable(entry.get("gossip")),
         )
         for trial in range(entry["trials"])
     ]
@@ -336,6 +358,7 @@ def replay_config(entry: Dict[str, Any], *, workers: int = 1) -> Tuple[str, ...]
         scenarios=scenarios_from_jsonable(entry.get("scenarios")),
         resilience=resilience_from_jsonable(entry.get("resilience")),
         satisfaction_window=entry.get("satisfaction_window"),
+        gossip=gossip_from_jsonable(entry.get("gossip")),
     )
     return tuple(report.trace_digest for report in reports)
 

@@ -44,6 +44,8 @@ class TestCoverage:
             "loss_satisfaction",
             "storm_grid",
             "storm_recovery",
+            "gossip_compare",
+            "gossip_faulty",
         }
         assert set(EXPERIMENT_SUITE) == paper | beyond_paper
 

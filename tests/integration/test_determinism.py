@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.baselines.gossip import GossipPlan
 from repro.core.network_sim import GuessSimulation
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
+from repro.experiments.runner import run_guess_config
 from repro.faults.plan import BrownoutSpec, FaultPlan, PartitionWindow
 from repro.observe.plan import ObservationPlan
 from repro.resilience import (
@@ -38,7 +40,8 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
              observe: ObservationPlan | None = None,
              scheduler: str = "heap",
              scenarios: ScenarioPlan | None = None,
-             resilience: ResiliencePolicy | None = None):
+             resilience: ResiliencePolicy | None = None,
+             gossip: GossipPlan | None = None):
     """One small, full-featured run; returns (digest, report)."""
     sim = GuessSimulation(
         SystemParams(
@@ -54,6 +57,7 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
         scheduler=scheduler,
         scenarios=scenarios,
         resilience=resilience,
+        gossip=gossip,
     )
     sim.run(DURATION)
     report = sim.report()
@@ -146,6 +150,90 @@ class TestGoldenDigests:
         assert report.spurious_timeout_probes > 0
         assert report.probe_retries > 0
         assert report.retry_recovered_probes > 0
+
+
+class TestGossipAssistedPins:
+    """Fourth golden pin: the gossip-assisted GUESS hybrid.
+
+    A fixed-seed cell with epidemic pong dissemination armed
+    (``GossipPlan(fanout=2, ttl=2)``) is pinned under both schedulers,
+    and the *disabled* plan (``fanout=0``) must be contractually
+    invisible — it reproduces every pre-gossip pin bit for bit, because
+    :meth:`GossipRelay.from_plan` returns ``None`` and the ping path
+    keeps its exact pre-gossip branch.
+    """
+
+    #: The armed cell actually disseminates: the digest must differ from
+    #: the clean pin (gossip hops are scheduled events) and must never
+    #: drift across versions.
+    ARMED = GossipPlan(fanout=2, ttl=2)
+    PIN = "867064cac1a1a5ab827994c71d74b2fb"
+
+    def test_armed_gossip_digest_pinned(self):
+        digest, report = run_once(7, gossip=self.ARMED)
+        assert digest == self.PIN
+        assert report.gossip_rumors > 0
+        assert report.gossip_pushes > 0
+        assert report.gossip_imports > 0
+
+    def test_armed_gossip_pin_reproduced_on_wheel(self):
+        digest, heap_report = run_once(7, gossip=self.ARMED)
+        wheel_digest, wheel_report = run_once(
+            7, gossip=self.ARMED, scheduler="wheel"
+        )
+        assert digest == self.PIN
+        assert wheel_digest == self.PIN
+        assert heap_report == wheel_report
+
+    def test_armed_gossip_actually_changes_the_run(self):
+        clean_digest, _ = run_once(7)
+        armed_digest, _ = run_once(7, gossip=self.ARMED)
+        assert armed_digest != clean_digest
+
+    def test_disabled_plan_reproduces_clean_pin(self):
+        digest, report = run_once(7, gossip=GossipPlan(fanout=0))
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+        assert report.gossip_rumors == 0
+        assert report.gossip_pushes == 0
+
+    def test_zero_ttl_plan_reproduces_clean_pin(self):
+        digest, _ = run_once(7, gossip=GossipPlan(fanout=2, ttl=0))
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_disabled_plan_reproduces_attack_pin(self):
+        digest, _ = run_once(
+            11, percent_bad=10.0, behavior=BadPongBehavior.BAD,
+            gossip=GossipPlan(fanout=0),
+        )
+        assert digest == "23d74325e25c2c9e44279d38a317edbe"
+
+    def test_disabled_plan_reproduces_loss_retry_pin(self):
+        digest, _ = run_once(
+            7, faults=FaultPlan(loss_rate=0.05), probe_retries=2,
+            gossip=GossipPlan(fanout=0),
+        )
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_parallel_trials_identical_to_serial(self):
+        """``--workers 2 --verify-parallel`` for the gossip cell: trial
+        fan-out over a process pool returns byte-identical reports."""
+        kwargs = dict(
+            duration=120.0,
+            warmup=40.0,
+            trials=2,
+            base_seed=29,
+            gossip=self.ARMED,
+        )
+        serial = run_guess_config(
+            SystemParams(network_size=60), ProtocolParams(cache_size=15),
+            workers=1, **kwargs,
+        )
+        parallel = run_guess_config(
+            SystemParams(network_size=60), ProtocolParams(cache_size=15),
+            workers=2, **kwargs,
+        )
+        assert serial == parallel
+        assert sum(r.gossip_pushes for r in serial) > 0
 
 
 class TestWheelSchedulerPins:
