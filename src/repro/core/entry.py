@@ -14,6 +14,16 @@ An entry is a pointer to some peer Q::
   MR/LR rank on this; the MR* variant refuses to import other peers'
   NumRes values (see ``ProtocolParams.reset_num_results``).
 
+One omniscient-observer field rides along (never read by any policy or
+protocol path):
+
+* ``born`` — when the *owner* acquired this pointer (seeding, pong
+  import, or introduction).  Metrics compare it against the pointed-to
+  peer's departure time to split dead probes into **stale** (the owner
+  held the pointer when the peer died — preventable by push
+  invalidation) and **dead-on-arrival** (the pointer was imported after
+  the death, e.g. from another peer's stale pong or a poisoned one).
+
 Entries are mutable (TS and NumRes change in place) but cheap to copy:
 pongs carry *copies*, never shared references — two peers updating one
 shared entry object would be action-at-a-distance that no real network
@@ -36,12 +46,16 @@ class CacheEntry:
         ts: timestamp (seconds) of the owner's last interaction with it.
         num_files: advertised shared-file count.
         num_res: results it returned to the owner's last query.
+        born: when the owner acquired the pointer (metrics-only; see
+            module docstring).  Defaults to the construction-time ``ts``
+            semantics of the bootstrap (0.0).
     """
 
     address: Address
     ts: float = 0.0
     num_files: int = 0
     num_res: int = 0
+    born: float = 0.0
 
     def copy(self) -> "CacheEntry":
         """An independent copy, as carried in a Pong message.
@@ -55,19 +69,24 @@ class CacheEntry:
         clone.ts = self.ts
         clone.num_files = self.num_files
         clone.num_res = self.num_res
+        clone.born = self.born
         return clone
 
-    def copy_for_import(self, reset_num_results: bool) -> "CacheEntry":
+    def copy_for_import(self, reset_num_results: bool, now: float = 0.0) -> "CacheEntry":
         """Copy used when ingesting an entry learned from another peer.
 
         Args:
             reset_num_results: if True (the MR* behaviour), the imported
                 ``NumRes`` is zeroed so only first-hand experience ranks
                 the entry.
+            now: import time, stamped as the new owner's ``born`` —
+                acquisition age is per-owner, never inherited from the
+                pong's carrier.
         """
         entry = self.copy()
         if reset_num_results:
             entry.num_res = 0
+        entry.born = now
         return entry
 
     def touch(self, now: float) -> None:

@@ -46,7 +46,11 @@ class LinkCache:
     """Bounded, policy-evicted cache of peer pointers.
 
     Args:
-        capacity: maximum number of entries (Table 2 ``CacheSize``).
+        capacity: maximum number of entries.  The global Table 2
+            ``CacheSize`` by default; heterogeneous per-peer capacities
+            (a :class:`~repro.freshness.plan.CacheSizing` policy) may
+            assign any size >= 0 — a zero-slot cache refuses every
+            insert without consulting the replacement policy.
         owner: address of the peer owning this cache; entries for the
             owner are silently refused.
     """
@@ -54,8 +58,8 @@ class LinkCache:
     __slots__ = ("capacity", "owner", "_slots", "_index", "_live")
 
     def __init__(self, capacity: int, owner: Address) -> None:
-        if capacity < 1:
-            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if capacity < 0:
+            raise ConfigError(f"capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
         self.owner = owner
         #: Append-only entry slots; evicted entries tombstone to None.
@@ -144,6 +148,11 @@ class LinkCache:
             return False
         if address in self._index:
             # Paper: fields of an existing entry are not updated from pongs.
+            return False
+        if self.capacity == 0:
+            # Zero-slot caches refuse unconditionally: an eviction
+            # contest with no residents would burn a Random-policy draw
+            # deciding nothing.
             return False
         if self._live < self.capacity:
             self._append(entry)

@@ -15,6 +15,12 @@ with probability ``IntroProb``) without a separate handshake.
 The gossip-assisted GUESS hybrid (:mod:`repro.baselines.gossip`) adds a
 fifth exchange: :class:`GossipPush` carries an epidemically disseminated
 pong harvest and is answered by a :class:`GossipAck`.
+
+The freshness layer (:mod:`repro.freshness`) adds a sixth:
+:class:`CacheUpdate` carries a CUP-style push-invalidation notice about
+a departed (or overloaded) address and is answered by a
+:class:`CacheUpdateAck` whose piggybacked Pong offers replacement
+candidates — a purge is also a refresh opportunity.
 """
 
 from __future__ import annotations
@@ -127,3 +133,39 @@ class GossipAck:
 
     sender: Address
     imported: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheUpdate:
+    """Push-invalidation notice (CUP-style controlled update propagation).
+
+    Attributes:
+        sender: the peer (or departing peer) sending the notice — hop 0
+            of a departure wave is sent *by* the subject as it leaves.
+        subject: the address the notice is about.
+        departed: True for a departure (receivers purge the entry);
+            False for an overload report (receivers with circuit
+            breakers record a remote refusal instead of purging).
+    """
+
+    sender: Address
+    subject: Address
+    departed: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class CacheUpdateAck:
+    """Reply to a :class:`CacheUpdate`.
+
+    Attributes:
+        sender: the acknowledging peer.
+        purged: whether the receiver actually held (and purged or
+            breaker-flagged) the stale entry — the interest-path signal
+            gating further propagation.
+        pong: replacement candidates from the receiver's cache, imported
+            by live notifiers so every purge doubles as a refresh.
+    """
+
+    sender: Address
+    purged: bool
+    pong: Pong

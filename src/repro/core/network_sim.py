@@ -28,7 +28,7 @@ from typing import List, Optional
 from repro.baselines.gossip import GossipPlan, GossipRelay
 from repro.core.entry import CacheEntry
 from repro.core.malicious import AttackDirectory, FaultyReporter, MaliciousPeer
-from repro.core.messages import GossipPush
+from repro.core.messages import CacheUpdate, GossipPush
 from repro.core.params import (
     ProtocolParams,
     SystemParams,
@@ -42,6 +42,8 @@ from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy, probe_with_retry
+from repro.freshness.mediator import FreshnessMediator
+from repro.freshness.plan import FreshnessPlan
 from repro.metrics.collectors import (
     CacheHealthSample,
     MetricsCollector,
@@ -51,6 +53,7 @@ from repro.network.address import Address, AddressAllocator
 from repro.network.overlay import OverlaySnapshot
 from repro.network.transport import ProbeStatus, Transport
 from repro.observe.plan import Observation, ObservationPlan
+from repro.resilience.breaker import OPEN
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.scenarios import ChurnStorm, ScenarioDriver, ScenarioPlan
 from repro.sim.engine import Simulator
@@ -138,6 +141,15 @@ class GuessSimulation:
             no relay and reproduces the gossip-free trace digest
             bit-for-bit; an armed relay draws only from the
             ``gossip:*`` substreams.
+        freshness: optional :class:`~repro.freshness.plan.FreshnessPlan`
+            arming controlled cache-update propagation — departing (and
+            breaker-tripped overloaded) peers push ``CacheUpdate``
+            notices along interest paths so stale pointers are purged or
+            demoted before they cost a dead probe — and heterogeneous,
+            capacity-proportional per-peer link-cache sizing.  ``None``
+            or a no-op plan builds no mediator and reproduces the
+            freshness-free trace digest bit-for-bit; an armed mediator
+            draws only from the ``freshness:*`` substreams.
 
     Example::
 
@@ -168,6 +180,7 @@ class GuessSimulation:
         resilience: Optional[ResiliencePolicy] = None,
         satisfaction_window: Optional[float] = None,
         gossip: Optional[GossipPlan] = None,
+        freshness: Optional[FreshnessPlan] = None,
     ) -> None:
         self.system = system
         self.protocol = protocol.normalized()
@@ -182,6 +195,10 @@ class GuessSimulation:
         # success path then carries no gossip branch at all, and the
         # gossip:* substreams are never instantiated.
         self.gossip = GossipRelay.from_plan(gossip, self.rng)
+        # None for a missing/no-op plan: uniform cache sizes, no
+        # departure notices, and the freshness:* substreams are never
+        # instantiated (the same from_plan -> None contract).
+        self.freshness = FreshnessMediator.from_plan(freshness, self.rng)
         # None for a missing/no-op plan: the hot paths below then carry
         # no observer branches at all (the from_plan -> None contract).
         self.observation = Observation.from_plan(observe)
@@ -381,6 +398,11 @@ class GuessSimulation:
             else self.content.build_library(self.rng.stream("content"), num_files)
         )
         lifetime = self.lifetimes.sample(self.rng.stream("lifetimes"))
+        cache_capacity = (
+            self.freshness.cache_capacity(self.protocol.cache_size, num_files)
+            if self.freshness is not None
+            else None
+        )
         common = dict(
             num_files=num_files,
             library=library,
@@ -392,6 +414,7 @@ class GuessSimulation:
             policy_rng=self.rng.stream("policies"),
             intro_rng=self.rng.stream("intro"),
             resilience=self.resilience,
+            cache_capacity=cache_capacity,
         )
         if malicious:
             peer = MaliciousPeer(
@@ -460,13 +483,14 @@ class GuessSimulation:
             ts=now,
             num_files=friend.num_files,
             num_res=0,
+            born=now,
         )
         newborn.link_cache.insert(
             friend_entry, self.policies.replacement, now, policy_rng
         )
         for entry in friend.link_cache.entries():
             newborn.link_cache.insert(
-                entry.copy_for_import(reset),
+                entry.copy_for_import(reset, now),
                 self.policies.replacement,
                 now,
                 policy_rng,
@@ -478,10 +502,12 @@ class GuessSimulation:
         address = peer.address
         if self._store.remove(address) is None:  # already handled (defensive)
             return
-        self.transport.unregister(address)
+        self.transport.unregister(address, time=now)
         self.directory.record_death(address)
         self.collector.record_death(now)
         self._harvest(peer)
+        if self.freshness is not None and self.freshness.plan.invalidates:
+            self._notify_departure(peer, now)
 
         # Rebirth keeps the live population at NetworkSize.  The newborn's
         # role is a coin flip, keeping PercentBadPeers (and
@@ -625,6 +651,11 @@ class GuessSimulation:
             evicted = peer.link_cache.evict(entry.address)
             if breakers is not None:
                 breakers.discard(entry.address)
+            # Omniscient fresh-vs-stale split: stale means the pointer
+            # was acquired before its target departed (preventable by
+            # push invalidation); dead-on-arrival imports and ghost
+            # addresses count as fresh (no notice could have helped).
+            departed_at = self.transport.departure_time(entry.address)
             self.collector.record_ping(
                 dead=True,
                 time=now,
@@ -633,6 +664,7 @@ class GuessSimulation:
                 wrongful=outcome.spurious and evicted,
                 dead_evicted=evicted,
                 denied=denied,
+                stale=departed_at is not None and entry.born < departed_at,
             )
             return
         if outcome.status is ProbeStatus.REFUSED:
@@ -641,6 +673,29 @@ class GuessSimulation:
                 # The breaker substitutes for refusal eviction: the
                 # entry stays cached, probes stop once it trips.
                 breakers.record_refusal(entry.address, now)
+                if (
+                    self.freshness is not None
+                    and self.freshness.plan.on_overload
+                    and self.freshness.plan.invalidates
+                    and breakers.state_of(entry.address) == OPEN
+                ):
+                    # The refusal just tripped the breaker: the prober
+                    # spreads the overload verdict so other holders
+                    # demote (or purge) their pointer before paying
+                    # their own refusals.
+                    self.engine.schedule(
+                        now + self.freshness.plan.notify_delay,
+                        self._invalidation_hop,
+                        priority=EventPriority.PROTOCOL,
+                        label="freshness",
+                        args=(
+                            peer.address,
+                            entry.address,
+                            self.freshness.plan.depth,
+                            {peer.address, entry.address},
+                            False,
+                        ),
+                    )
             elif not self.protocol.do_backoff:
                 refusal_evicted = peer.link_cache.evict(entry.address)
             self.collector.record_ping(
@@ -752,6 +807,117 @@ class GuessSimulation:
                 )
 
     # ------------------------------------------------------------------
+    # Push invalidation (repro.freshness)
+    # ------------------------------------------------------------------
+
+    def _notify_departure(self, victim: GuessPeer, now: float) -> None:
+        """Hop 0 of a departure notice: the victim warns its contacts.
+
+        The dying peer's own link cache approximates "who holds a
+        pointer to me" (the introduction rule makes acquaintance roughly
+        symmetric).  Up to ``notify_budget`` contacts get a
+        ``CacheUpdate(departed=True)`` in the death instant — the victim
+        is already unregistered, but UDP sends need no live source.
+        Contacts that actually held (and purged) the stale entry forward
+        the notice along the interest path while depth lasts; the dead
+        victim cannot ingest the acks' refresh pongs, so hop 0 imports
+        nothing.
+        """
+        mediator = self.freshness
+        assert mediator is not None  # guarded at the call site
+        subject = victim.address
+        seen = {subject}
+        contacts = mediator.pick_contacts(
+            [entry.address for entry in victim.link_cache.entries()], seen
+        )
+        if not contacts:
+            return
+        depth = mediator.plan.depth
+        message = CacheUpdate(sender=subject, subject=subject, departed=True)
+        for target_address in contacts:
+            seen.add(target_address)
+            outcome = self.transport.probe(subject, target_address, message, now)
+            if outcome.status is ProbeStatus.DELIVERED:
+                ack = outcome.response
+                self.collector.record_freshness_notice(
+                    now, delivered=True, purged=ack.purged
+                )
+                if ack.purged and depth > 1:
+                    self.engine.schedule(
+                        now + mediator.plan.notify_delay,
+                        self._invalidation_hop,
+                        priority=EventPriority.PROTOCOL,
+                        label="freshness",
+                        args=(target_address, subject, depth - 1, seen, True),
+                    )
+            else:
+                self.collector.record_freshness_notice(
+                    now,
+                    delivered=False,
+                    refused=outcome.status is ProbeStatus.REFUSED,
+                )
+
+    def _invalidation_hop(
+        self,
+        carrier_address: Address,
+        subject: Address,
+        ttl: int,
+        seen: set,
+        departed: bool,
+    ) -> None:
+        """Forward a cache-update notice one interest-path hop.
+
+        The carrier (a peer that held — and purged or demoted — the
+        stale entry) warns up to ``notify_budget`` of its own contacts.
+        Only receivers that also held the entry (``ack.purged``) extend
+        the path, so propagation follows interest and dies out where
+        nobody cached the subject.  Each delivered ack piggybacks a
+        pong the live carrier ingests — the purge doubles as a refresh.
+        A carrier that died before its hop fired drops the notice.
+        """
+        now = self.engine.now
+        carrier = self._store.get(carrier_address)
+        if carrier is None or not carrier.is_alive(now):
+            return
+        mediator = self.freshness
+        assert mediator is not None  # hops are only scheduled when armed
+        contacts = mediator.pick_contacts(
+            [entry.address for entry in carrier.link_cache.entries()], seen
+        )
+        if not contacts:
+            return
+        message = CacheUpdate(
+            sender=carrier_address, subject=subject, departed=departed
+        )
+        for target_address in contacts:
+            seen.add(target_address)
+            outcome = self.transport.probe(
+                carrier_address, target_address, message, now
+            )
+            if outcome.status is ProbeStatus.DELIVERED:
+                ack = outcome.response
+                self.collector.record_freshness_notice(
+                    now, delivered=True, purged=ack.purged
+                )
+                if ack.pong.entries:
+                    imported = carrier.import_pong_to_link_cache(ack.pong, now)
+                    self.collector.record_freshness_refresh(now, imported)
+                if ack.purged and ttl > 1:
+                    self.engine.schedule(
+                        now + mediator.plan.notify_delay,
+                        self._invalidation_hop,
+                        priority=EventPriority.PROTOCOL,
+                        label="freshness",
+                        args=(target_address, subject, ttl - 1, seen, departed),
+                    )
+            else:
+                self.collector.record_freshness_notice(
+                    now,
+                    delivered=False,
+                    refused=outcome.status is ProbeStatus.REFUSED,
+                )
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
@@ -771,6 +937,10 @@ class GuessSimulation:
                 if recorder is not None
                 else None
             )
+            # With gossip armed, delivered query-reply pongs seed rumors
+            # too (not just ping harvests); None keeps the query loop
+            # append-free so the gossip-off digest is untouched.
+            harvests: Optional[List] = [] if self.gossip is not None else None
             result = execute_query(
                 peer,
                 target,
@@ -779,10 +949,14 @@ class GuessSimulation:
                 rng=self.rng.stream("policies"),
                 desired_results=self.system.num_desired_results,
                 span=span,
+                harvests=harvests,
             )
             if span is not None:
                 recorder.finish(span, result)
             self.collector.record_query(result, cursor)
+            if harvests:
+                for pong in harvests:
+                    self._seed_rumor(peer, pong, cursor)
             cursor += result.duration
         delay = self.bursts.next_burst_delay(queries_rng)
         if self.scenario is not None:

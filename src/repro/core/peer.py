@@ -28,6 +28,8 @@ from typing import FrozenSet, Optional, Tuple
 from repro.core.entry import CacheEntry
 from repro.core.link_cache import LinkCache
 from repro.core.messages import (
+    CacheUpdate,
+    CacheUpdateAck,
     GossipAck,
     GossipPush,
     Ping,
@@ -66,6 +68,9 @@ class GuessPeer:
             retry budget, graded shedding); ``None`` (or an all-off
             policy, which the simulation normalizes away) keeps the
             plain-paper behaviour on every code path.
+        cache_capacity: per-peer link-cache capacity override
+            (heterogeneous :class:`~repro.freshness.plan.CacheSizing`);
+            ``None`` uses the global ``protocol.cache_size``.
     """
 
     #: Class-level flag distinguishing good peers from malicious ones in
@@ -124,6 +129,7 @@ class GuessPeer:
         policy_rng: random.Random,
         intro_rng: random.Random,
         resilience: ResiliencePolicy | None = None,
+        cache_capacity: int | None = None,
     ) -> None:
         if death_time <= birth_time:
             raise ValueError(
@@ -136,7 +142,10 @@ class GuessPeer:
         self.death_time = float(death_time)
         self.protocol = protocol
         self.policies = policies
-        self.link_cache = LinkCache(protocol.cache_size, owner=address)
+        self.link_cache = LinkCache(
+            protocol.cache_size if cache_capacity is None else cache_capacity,
+            owner=address,
+        )
         self._limiter = (
             BucketedRateLimiter(window=1.0, limit=max_probes_per_second)
             if max_probes_per_second is not None
@@ -190,7 +199,7 @@ class GuessPeer:
     # ------------------------------------------------------------------
 
     def receive_probe(self, message, time: float) -> Tuple[bool, object]:
-        """Handle an incoming Ping, Query, or GossipPush probe.
+        """Handle an incoming Ping, Query, GossipPush, or CacheUpdate probe.
 
         Returns:
             ``(accepted, response)`` per the transport's Endpoint
@@ -200,7 +209,7 @@ class GuessPeer:
         if self._limiter is not None:
             if (
                 self._soft_limit is not None
-                and isinstance(message, (Ping, GossipPush))
+                and isinstance(message, (Ping, GossipPush, CacheUpdate))
                 and self._limiter.count(time) >= self._soft_limit
             ):
                 # Graded shedding: above the soft threshold maintenance
@@ -219,6 +228,8 @@ class GuessPeer:
             return True, self._handle_query(message, time)
         if isinstance(message, GossipPush):
             return True, self._handle_gossip(message, time)
+        if isinstance(message, CacheUpdate):
+            return True, self._handle_cache_update(message, time)
         raise TypeError(f"unsupported probe message: {message!r}")
 
     def _handle_ping(self, message: Ping, time: float) -> Pong:
@@ -250,6 +261,33 @@ class GuessPeer:
         )
         return GossipAck(sender=self.address, imported=imported)
 
+    def _handle_cache_update(
+        self, message: CacheUpdate, time: float
+    ) -> CacheUpdateAck:
+        """Ingest a push-invalidation notice (:mod:`repro.freshness`).
+
+        A departure notice purges the stale entry outright; an overload
+        notice is relayed refusal knowledge — a breaker-armed receiver
+        records a remote refusal (keeping the entry cached behind the
+        breaker), a plain receiver purges just like a departure.  The
+        acknowledgement piggybacks a PingPong-policy Pong so a live
+        notifier can refresh the slot the purge vacated.
+        """
+        subject = message.subject
+        purged = False
+        if message.departed:
+            purged = self.link_cache.evict(subject)
+            if purged and self.breakers is not None:
+                self.breakers.discard(subject)
+        elif subject in self.link_cache:
+            purged = True  # "held the entry": the interest-path signal
+            if self.breakers is not None:
+                self.breakers.record_refusal(subject, time)
+            else:
+                self.link_cache.evict(subject)
+        pong = self.make_pong(self.policies.ping_pong, time)
+        return CacheUpdateAck(sender=self.address, purged=purged, pong=pong)
+
     # ------------------------------------------------------------------
     # Pong construction and the introduction rule
     # ------------------------------------------------------------------
@@ -278,7 +316,8 @@ class GuessPeer:
         if self._intro_rng.random() >= self.protocol.intro_prob:
             return
         entry = CacheEntry(
-            address=prober, ts=time, num_files=prober_num_files, num_res=0
+            address=prober, ts=time, num_files=prober_num_files, num_res=0,
+            born=time,
         )
         self.link_cache.insert(
             entry, self.policies.replacement, time, self._policy_rng
@@ -306,7 +345,7 @@ class GuessPeer:
                 if defense.blocked(entry.address):
                     continue
                 defense.record_import(entry.address, pong.sender)
-            candidate = entry.copy_for_import(reset)
+            candidate = entry.copy_for_import(reset, now)
             if self.link_cache.insert(
                 candidate, self.policies.replacement, now, self._policy_rng
             ):

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.entry import CacheEntry
-from repro.core.messages import QueryReply
+from repro.core.messages import Pong, QueryReply
 from repro.core.peer import GuessPeer
 from repro.core.policies import Policy
 from repro.core.query_cache import QueryCache
@@ -98,6 +98,13 @@ class QueryResult:
         probes: total probes issued (= good + dead + refused).
         good_probes: probes answered by live peers.
         dead_probes: probes that timed out (the paper's "DeadIPs").
+        stale_dead_probes: the subset of ``dead_probes`` whose candidate
+            entry was acquired *before* the target's departure — the
+            prober held a pointer that went stale in place, exactly the
+            waste push invalidation (:mod:`repro.freshness`) can
+            prevent.  The remainder were dead-on-arrival: imported
+            after the death (stale pongs, poison) or pointing at
+            never-registered ghosts.
         refused_probes: probes refused by overloaded peers.
         duration: seconds of virtual time the query occupied (includes
             retry backoff waiting).
@@ -139,6 +146,7 @@ class QueryResult:
     duration: float
     response_time: Optional[float]
     pool_exhausted: bool
+    stale_dead_probes: int = 0
     spurious_timeouts: int = 0
     retries: int = 0
     retry_recoveries: int = 0
@@ -175,6 +183,7 @@ def execute_query(
     desired_results: int = 1,
     max_probes: Optional[int] = None,
     span: Optional["QuerySpan"] = None,
+    harvests: Optional[List["Pong"]] = None,
 ) -> QueryResult:
     """Run one GUESS query from ``peer`` for ``target_file``.
 
@@ -192,6 +201,12 @@ def execute_query(
             Recording is pure bookkeeping on the span object — it never
             touches peer, cache, RNG, or transport state, so a traced
             query is bit-identical to an untraced one.
+        harvests: optional sink the non-empty pong of every delivered
+            query reply is appended to, so the caller can seed gossip
+            rumors from query harvests exactly like ping harvests
+            (gossip-assisted GUESS).  ``None`` (the default, and the
+            only value ever passed when the gossip plan is disabled)
+            keeps the loop append-free and the trace digest untouched.
 
     Returns:
         A :class:`QueryResult`.
@@ -217,7 +232,7 @@ def execute_query(
     results = 0
     honest_results = 0
     falsified = False
-    good = dead = refused = 0
+    good = dead = stale_dead = refused = 0
     spurious = retries = recoveries = wrongful = 0
     dead_evictions = refusal_evictions = suppressed = denied = 0
     probes = 0
@@ -307,6 +322,12 @@ def execute_query(
 
             if outcome.status is ProbeStatus.TIMEOUT:
                 dead += 1
+                # Stale = the pointer predates the target's departure
+                # (push invalidation could have purged it in time);
+                # dead-on-arrival pointers and ghosts stay "fresh".
+                departed_at = transport.departure_time(address)
+                if departed_at is not None and entry.born < departed_at:
+                    stale_dead += 1
                 # Discovered-dead entries leave the link cache immediately.
                 evicted = peer.link_cache.evict(address)
                 if evicted:
@@ -388,6 +409,9 @@ def execute_query(
             if defense is not None:
                 defense.record_answer(address, reply.num_results)
 
+            if harvests is not None and reply.pong.entries:
+                harvests.append(reply.pong)
+
             # Ingest the piggybacked pong: query cache feeds the pool,
             # and every shared entry is offered to the link cache too.
             reset = policies.reset_num_results
@@ -397,7 +421,7 @@ def execute_query(
                     if defense.blocked(shared.address):
                         continue
                     defense.record_import(shared.address, reply.pong.sender)
-                imported = shared.copy_for_import(reset)
+                imported = shared.copy_for_import(reset, wave_time)
                 if query_cache.add(imported):
                     pool.add(imported)
                     peer.offer_entry_to_link_cache(imported, wave_time)
@@ -430,6 +454,7 @@ def execute_query(
         good_probes=good,
         dead_probes=dead,
         refused_probes=refused,
+        stale_dead_probes=stale_dead,
         duration=duration,
         response_time=response_time if satisfied else None,
         pool_exhausted=not satisfied and pool.pop() is None,

@@ -52,6 +52,17 @@ class ScenarioError(ConfigError):
     """
 
 
+class FreshnessError(ConfigError):
+    """A cache-freshness plan is malformed.
+
+    Raised eagerly at plan-construction time by the frozen specs in
+    :mod:`repro.freshness.plan`: a negative notification budget or
+    propagation depth, a non-positive notification delay, an unknown
+    :class:`~repro.freshness.plan.CacheSizing` policy name, or sizing
+    bounds that leave no admissible capacity.
+    """
+
+
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event engine was used incorrectly.
 

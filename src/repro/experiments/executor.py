@@ -40,6 +40,7 @@ from repro.core.network_sim import GuessSimulation
 from repro.core.params import ProtocolParams, SystemParams
 from repro.errors import ChaosError, ConfigError
 from repro.faults.plan import FaultPlan
+from repro.freshness.plan import FreshnessPlan
 from repro.metrics.collectors import SimulationReport
 from repro.observe.profiler import active_profiler
 from repro.resilience.policy import ResiliencePolicy
@@ -144,6 +145,10 @@ class TrialSpec:
         gossip: optional gossip-assisted GUESS plan (frozen, hence
             picklable); ``None`` or a no-op plan runs the gossip-free
             code path bit-identically.
+        freshness: optional cache-freshness plan (push invalidation +
+            heterogeneous cache sizing; frozen, hence picklable);
+            ``None`` or a no-op plan runs the freshness-free code path
+            bit-identically.
     """
 
     system: SystemParams
@@ -161,6 +166,7 @@ class TrialSpec:
     resilience: Optional[ResiliencePolicy] = None
     satisfaction_window: Optional[float] = None
     gossip: Optional[GossipPlan] = None
+    freshness: Optional[FreshnessPlan] = None
 
 
 def execute_trial(spec: TrialSpec) -> SimulationReport:
@@ -181,6 +187,7 @@ def execute_trial(spec: TrialSpec) -> SimulationReport:
         resilience=spec.resilience,
         satisfaction_window=spec.satisfaction_window,
         gossip=spec.gossip,
+        freshness=spec.freshness,
     )
     # Profiling hook: when a profiler is active in this process, the
     # engine reports this trial's (events, wall, sim-seconds) sample.

@@ -11,11 +11,13 @@ Usage::
 
 ``--only`` takes experiment ids (``table3``, ``fig3`` ... ``fig21``,
 ``loss_grid``, ``loss_satisfaction``, ``storm_grid``,
-``storm_recovery``, ``gossip_compare``, ``gossip_faulty``) or suite
-names (``cache_size``, ``ping_interval``, ``flexible_extent``,
+``storm_recovery``, ``gossip_compare``, ``gossip_faulty``,
+``freshness_grid``, ``freshness_recovery``) or suite names
+(``cache_size``, ``ping_interval``, ``flexible_extent``,
 ``policy_comparison``, ``fairness``, ``capacity``, ``malicious``,
-``ablations``, ``packet_loss``, ``churn_storm``, ``gossip_search``);
-``--suite`` is an alias accepting the same tokens.
+``ablations``, ``packet_loss``, ``churn_storm``, ``gossip_search``,
+``cache_freshness``); ``--suite`` is an alias accepting the same
+tokens.
 
 ``--supervise`` runs every trial under
 :class:`~repro.experiments.supervisor.SupervisedTrialExecutor`:
@@ -42,6 +44,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ablations,
+    cache_freshness,
     cache_size,
     capacity,
     churn_storm,
@@ -84,6 +87,7 @@ SUITES: Dict[str, Callable] = {
     "packet_loss": packet_loss.run_suite,
     "churn_storm": churn_storm.run_suite,
     "gossip_search": gossip_search.run_suite,
+    "cache_freshness": cache_freshness.run_suite,
 }
 
 #: Experiment id -> the suite that produces it.
@@ -114,6 +118,8 @@ EXPERIMENT_SUITE: Dict[str, str] = {
     "storm_recovery": "churn_storm",
     "gossip_compare": "gossip_search",
     "gossip_faulty": "gossip_search",
+    "freshness_grid": "cache_freshness",
+    "freshness_recovery": "cache_freshness",
 }
 
 #: Exit codes beyond 0/1: quarantines happened (sweep completed but some

@@ -29,6 +29,7 @@ from repro.experiments.executor import (
     get_executor,
 )
 from repro.faults.plan import FaultPlan
+from repro.freshness.plan import FreshnessPlan
 from repro.metrics.collectors import SimulationReport
 from repro.metrics.summary import mean
 from repro.observe.manifest import active_manifest_recorder
@@ -98,6 +99,7 @@ def run_guess_config(
     resilience: Optional[ResiliencePolicy] = None,
     satisfaction_window: Optional[float] = None,
     gossip: Optional[GossipPlan] = None,
+    freshness: Optional[FreshnessPlan] = None,
 ) -> List[SimulationReport]:
     """Run one configuration ``trials`` times with derived seeds.
 
@@ -149,6 +151,10 @@ def run_guess_config(
             trial; ``None`` or a no-op plan reproduces the gossip-free
             runs exactly.  Recorded in the manifest alongside the fault
             plan.
+        freshness: optional cache-freshness plan (push invalidation +
+            heterogeneous cache sizing) applied to every trial; ``None``
+            or a no-op plan reproduces the freshness-free runs exactly.
+            Recorded in the manifest alongside the fault plan.
 
     Returns:
         One report per trial, in trial order.  Under a supervised
@@ -174,6 +180,7 @@ def run_guess_config(
             resilience=resilience,
             satisfaction_window=satisfaction_window,
             gossip=gossip,
+            freshness=freshness,
         )
         for trial in range(trials)
     ]
@@ -194,6 +201,7 @@ def run_guess_config(
                 resilience=resilience,
                 satisfaction_window=satisfaction_window,
                 gossip=gossip,
+                freshness=freshness,
             )
             mutate(sim)
             sim.run(warmup + duration)
@@ -220,6 +228,7 @@ def run_guess_config(
             resilience=resilience,
             satisfaction_window=satisfaction_window,
             gossip=gossip,
+            freshness=freshness,
         )
     return reports
 

@@ -1,0 +1,22 @@
+"""Cache freshness under churn (ROADMAP item 4).
+
+Push invalidation down interest paths (CUP-style
+:class:`~repro.core.messages.CacheUpdate` notices with pong-piggybacked
+refresh) plus heterogeneous, capacity-proportional per-peer link-cache
+sizes.  See :mod:`repro.freshness.plan` for the frozen plan dataclasses
+and :mod:`repro.freshness.mediator` for the armed-run mediator.
+"""
+
+from repro.freshness.mediator import FreshnessMediator
+from repro.freshness.plan import (
+    CACHE_SIZING_POLICIES,
+    CacheSizing,
+    FreshnessPlan,
+)
+
+__all__ = [
+    "CACHE_SIZING_POLICIES",
+    "CacheSizing",
+    "FreshnessMediator",
+    "FreshnessPlan",
+]

@@ -1,0 +1,74 @@
+"""The armed-freshness mediator (contact picking + capacity assignment).
+
+Holds a :class:`~repro.freshness.plan.FreshnessPlan` and the two
+``freshness:*`` streams all freshness randomness comes from; the event
+wiring (notice probes, interest-path forwarding, per-peer capacity at
+spawn) lives in :class:`~repro.core.network_sim.GuessSimulation`.  Build
+via :meth:`FreshnessMediator.from_plan`, which returns ``None`` for
+disabled plans — the invisibility contract every optional subsystem here
+follows (:class:`~repro.faults.injector.FaultInjector`,
+:class:`~repro.resilience.scenarios.ScenarioDriver`,
+:class:`~repro.baselines.gossip.GossipRelay`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.freshness.plan import FreshnessPlan
+from repro.network.address import Address
+from repro.sim.rng import RngRegistry
+
+
+class FreshnessMediator:
+    """Randomness and policy decisions for an armed freshness plan."""
+
+    __slots__ = ("plan", "_notify_rng", "_sizing_rng")
+
+    def __init__(self, plan: FreshnessPlan, rng: RngRegistry) -> None:
+        self.plan = plan
+        # Literal stream names: the RD007 contract proves the
+        # ``freshness:`` prefix statically.
+        self._notify_rng = rng.stream("freshness:notify")
+        self._sizing_rng = rng.stream("freshness:sizing")
+
+    @classmethod
+    def from_plan(
+        cls, plan: Optional[FreshnessPlan], rng: RngRegistry
+    ) -> Optional["FreshnessMediator"]:
+        """The mediator for ``plan``, or None if the plan can do nothing.
+
+        Returning None (not an inert mediator) is what makes the
+        disabled plan contractually invisible: peer spawning and the
+        death path take their pre-freshness branches unchanged, with
+        zero extra draws or scheduled events.
+        """
+        if plan is None or plan.is_noop():
+            return None
+        return cls(plan, rng)
+
+    def cache_capacity(self, base: int, num_files: int) -> int:
+        """Per-peer link-cache capacity for one newborn.
+
+        Exactly one ``freshness:sizing`` draw under ``"power-law"``,
+        none otherwise — uniform sizing under an armed (invalidation-
+        only) plan returns the base without touching the stream.
+        """
+        sizing = self.plan.sizing
+        if sizing.is_noop():
+            return base
+        return sizing.capacity_for(base, num_files, self._sizing_rng)
+
+    def pick_contacts(
+        self, candidates: Sequence[Address], seen: Set[Address]
+    ) -> List[Address]:
+        """Up to ``notify_budget`` addresses not yet notified.
+
+        ``candidates`` must arrive in a deterministic order (link caches
+        iterate in insertion order); the sample draws only from the
+        ``freshness:notify`` stream.
+        """
+        fresh = [address for address in candidates if address not in seen]
+        if len(fresh) <= self.plan.notify_budget:
+            return fresh
+        return self._notify_rng.sample(fresh, self.plan.notify_budget)

@@ -62,6 +62,7 @@ class _QueryAggregate:
     probes: int = 0
     good: int = 0
     dead: int = 0
+    stale_dead: int = 0
     refused: int = 0
     results: int = 0
     spurious: int = 0
@@ -118,6 +119,13 @@ class MetricsCollector:
     METRIC_REFUSAL_PING_EVICTIONS = "sim.refusal_ping_evictions"
     METRIC_SUPPRESSED_PINGS = "sim.suppressed_pings"
     METRIC_PING_RETRIES_DENIED = "sim.ping_retries_denied"
+    #: Instruments of the freshness layer (stale split + push invalidation).
+    METRIC_STALE_DEAD_PINGS = "sim.stale_dead_pings"
+    METRIC_FRESHNESS_NOTICES = "sim.freshness_notices"
+    METRIC_FRESHNESS_DELIVERED = "sim.freshness_notices_delivered"
+    METRIC_FRESHNESS_REFUSED = "sim.freshness_notices_refused"
+    METRIC_FRESHNESS_PURGES = "sim.freshness_purges"
+    METRIC_FRESHNESS_REFRESH_IMPORTS = "sim.freshness_refresh_imports"
     #: Instruments of the gossip-assisted relay channel.
     METRIC_GOSSIP_RUMORS = "sim.gossip_rumors"
     METRIC_GOSSIP_PUSHES = "sim.gossip_pushes"
@@ -192,6 +200,24 @@ class MetricsCollector:
         self._c_gossip_suppressed = self._registry.counter(
             self.METRIC_GOSSIP_SUPPRESSED
         )
+        self._c_stale_dead_pings = self._registry.counter(
+            self.METRIC_STALE_DEAD_PINGS
+        )
+        self._c_freshness_notices = self._registry.counter(
+            self.METRIC_FRESHNESS_NOTICES
+        )
+        self._c_freshness_delivered = self._registry.counter(
+            self.METRIC_FRESHNESS_DELIVERED
+        )
+        self._c_freshness_refused = self._registry.counter(
+            self.METRIC_FRESHNESS_REFUSED
+        )
+        self._c_freshness_purges = self._registry.counter(
+            self.METRIC_FRESHNESS_PURGES
+        )
+        self._c_freshness_refresh = self._registry.counter(
+            self.METRIC_FRESHNESS_REFRESH_IMPORTS
+        )
         # The satisfaction-window channel: a private windowed registry
         # so the report can expose per-window (queries, satisfied) rows
         # whether or not a shared observability registry is attached.
@@ -243,6 +269,7 @@ class MetricsCollector:
         agg.probes += result.probes
         agg.good += result.good_probes
         agg.dead += result.dead_probes
+        agg.stale_dead += result.stale_dead_probes
         agg.refused += result.refused_probes
         agg.results += result.results
         agg.spurious += result.spurious_timeouts
@@ -273,6 +300,7 @@ class MetricsCollector:
         dead_evicted: bool = False,
         refusal_evicted: bool = False,
         denied: bool = False,
+        stale: bool = False,
     ) -> None:
         """Record one maintenance ping and whether it found a corpse.
 
@@ -289,6 +317,10 @@ class MetricsCollector:
                 ``do_backoff=False`` reflex the breaker replaces).
             denied: the retry schedule was cut short by an exhausted
                 retry-token budget.
+            stale: the dead target departed *after* the pinging peer
+                acquired its pointer — the preventable kind of dead
+                probe push invalidation targets (vs dead-on-arrival
+                imports and ghost addresses).
         """
         if time < self.warmup:
             return
@@ -310,6 +342,8 @@ class MetricsCollector:
                 self._c_wrongful_pings.inc()
             if dead_evicted:
                 self._c_dead_ping_evictions.inc()
+            if stale:
+                self._c_stale_dead_pings.inc()
 
     def record_gossip_rumor(self, time: float) -> None:
         """Count one rumor seeded from a ping's pong harvest."""
@@ -353,6 +387,43 @@ class MetricsCollector:
         if self._observed:
             self._registry.advance(time)
         self._c_gossip_suppressed.inc()
+
+    def record_freshness_notice(
+        self,
+        time: float,
+        *,
+        delivered: bool,
+        purged: bool = False,
+        refused: bool = False,
+    ) -> None:
+        """Record one push-invalidation ``CacheUpdate`` send.
+
+        Args:
+            time: send timestamp (warmup-filtered).
+            delivered: the notice reached a live peer.
+            purged: the receiver actually held (and purged or demoted)
+                the stale entry — the interest-path forwarding signal.
+            refused: the receiver shed the notice (rate limit).
+        """
+        if time < self.warmup:
+            return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_freshness_notices.inc()
+        if delivered:
+            self._c_freshness_delivered.inc()
+            if purged:
+                self._c_freshness_purges.inc()
+        elif refused:
+            self._c_freshness_refused.inc()
+
+    def record_freshness_refresh(self, time: float, imported: int) -> None:
+        """Count entries a notifier imported off a ``CacheUpdateAck`` pong."""
+        if time < self.warmup:
+            return
+        if self._observed:
+            self._registry.advance(time)
+        self._c_freshness_refresh.inc(imported)
 
     def record_suppressed_ping(self, time: float) -> None:
         """Record a maintenance ping skipped by an open circuit breaker."""
@@ -504,6 +575,30 @@ class MetricsCollector:
     def gossip_suppressed_forwards(self) -> int:
         return self._c_gossip_suppressed.value
 
+    @property
+    def stale_dead_pings(self) -> int:
+        return self._c_stale_dead_pings.value
+
+    @property
+    def freshness_notices(self) -> int:
+        return self._c_freshness_notices.value
+
+    @property
+    def freshness_notices_delivered(self) -> int:
+        return self._c_freshness_delivered.value
+
+    @property
+    def freshness_notices_refused(self) -> int:
+        return self._c_freshness_refused.value
+
+    @property
+    def freshness_purges(self) -> int:
+        return self._c_freshness_purges.value
+
+    @property
+    def freshness_refresh_imports(self) -> int:
+        return self._c_freshness_refresh.value
+
     def _satisfaction_windows(self) -> tuple:
         """Flush and render the satisfaction channel's window rows.
 
@@ -583,6 +678,13 @@ class MetricsCollector:
             gossip_refused=self.gossip_refused,
             gossip_imports=self.gossip_imports,
             gossip_suppressed_forwards=self.gossip_suppressed_forwards,
+            stale_dead_query_probes=agg.stale_dead,
+            stale_dead_pings=self.stale_dead_pings,
+            freshness_notices=self.freshness_notices,
+            freshness_notices_delivered=self.freshness_notices_delivered,
+            freshness_notices_refused=self.freshness_notices_refused,
+            freshness_purges=self.freshness_purges,
+            freshness_refresh_imports=self.freshness_refresh_imports,
             spurious_dead_pings=self.spurious_dead_pings,
             ping_retries=self.ping_retries,
             ping_retry_recoveries=self.ping_retry_recoveries,
@@ -654,6 +756,21 @@ class SimulationReport:
     gossip_refused: int = 0
     gossip_imports: int = 0
     gossip_suppressed_forwards: int = 0
+    #: Freshness accounting (repro.freshness): the stale share of query
+    #: dead-probes / dead pings (target departed after the pointer was
+    #: acquired — the preventable kind), and the push-invalidation
+    #: channel: CacheUpdate sends, sends reaching a live peer, sends
+    #: shed by rate limits, receivers that actually purged/demoted the
+    #: stale entry, and entries refreshed off ack pongs.  The stale
+    #: split is always recorded; the notice counters are zero unless a
+    #: FreshnessPlan armed push invalidation.
+    stale_dead_query_probes: int = 0
+    stale_dead_pings: int = 0
+    freshness_notices: int = 0
+    freshness_notices_delivered: int = 0
+    freshness_notices_refused: int = 0
+    freshness_purges: int = 0
+    freshness_refresh_imports: int = 0
     #: Dead pings whose target was live (fault-injected losses).
     spurious_dead_pings: int = 0
     #: Extra ping sends made by the retry policy.
@@ -758,6 +875,39 @@ class SimulationReport:
     def gossip_delivery_rate(self) -> float:
         """Fraction of GossipPush sends accepted by a live receiver."""
         return ratio(self.gossip_delivered, self.gossip_pushes)
+
+    # -- Freshness metrics (repro.freshness) -----------------------------
+
+    @property
+    def stale_dead_probes(self) -> int:
+        """Dead probes (query + ping paths) charged to *stale* pointers.
+
+        Stale = the pointer's target departed after the owner acquired
+        it; exactly the waste push invalidation can prevent.  The
+        remainder (:attr:`fresh_dead_probes`) is dead-on-arrival imports
+        and ghost addresses, which no notice could have saved.
+        """
+        return self.stale_dead_query_probes + self.stale_dead_pings
+
+    @property
+    def fresh_dead_probes(self) -> int:
+        """Dead probes no invalidation could have prevented."""
+        return self.dead_probes + self.dead_pings - self.stale_dead_probes
+
+    @property
+    def stale_dead_fraction(self) -> float:
+        """Fraction of all dead probes charged to stale pointers."""
+        return ratio(self.stale_dead_probes, self.dead_probes + self.dead_pings)
+
+    @property
+    def freshness_delivery_rate(self) -> float:
+        """Fraction of CacheUpdate sends that reached a live peer."""
+        return ratio(self.freshness_notices_delivered, self.freshness_notices)
+
+    @property
+    def freshness_purge_rate(self) -> float:
+        """Fraction of delivered notices whose receiver held the entry."""
+        return ratio(self.freshness_purges, self.freshness_notices_delivered)
 
     @property
     def spurious_timeouts_per_query(self) -> float:

@@ -161,6 +161,10 @@ class Transport:
         self._latency = latency or constant_latency(timeout / 4.0)
         self._faults = faults
         self._directory: Dict[Address, Endpoint] = {}
+        #: address -> virtual time it was unregistered (departed).  Pure
+        #: omniscient bookkeeping for the metrics layer's fresh-vs-stale
+        #: dead-probe split; never read on any protocol path.
+        self._departures: Dict[Address, float] = {}
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._observed = metrics is not None
         self._c_probes = self._metrics.counter(self.METRIC_PROBES_SENT)
@@ -186,13 +190,25 @@ class Transport:
             raise ValueError(f"address {address} already registered")
         self._directory[address] = endpoint
 
-    def unregister(self, address: Address) -> None:
+    def unregister(self, address: Address, time: Optional[float] = None) -> None:
         """Detach the endpoint at ``address`` (no-op if absent).
 
         Dead peers may either be unregistered or left registered with
-        ``is_alive`` returning False; both produce timeouts.
+        ``is_alive`` returning False; both produce timeouts.  When the
+        caller supplies the departure ``time``, it is remembered so
+        metrics can classify later dead probes against this address as
+        stale (pointer acquired before the death) or dead-on-arrival.
         """
-        self._directory.pop(address, None)
+        if self._directory.pop(address, None) is not None and time is not None:
+            self._departures[address] = time
+
+    def departure_time(self, address: Address) -> Optional[float]:
+        """When ``address`` was unregistered, or None (live / never seen).
+
+        Omniscient-observer data: the protocol layers never branch on
+        it — only dead-probe accounting does.
+        """
+        return self._departures.get(address)
 
     def endpoint(self, address: Address) -> Optional[Endpoint]:
         """The endpoint bound to ``address``, or None."""

@@ -37,6 +37,7 @@ from repro.observe.registry import (
     WindowSnapshot,
 )
 from repro.observe.spans import ProbeRecord, QuerySpan, SpanRecorder
+from repro.observe.staleness import StalenessSummary, summarize_staleness
 
 #: Manifest symbols resolve lazily: :mod:`repro.observe.manifest` needs
 #: the params and fault-plan modules, which sit *above* the transport in
@@ -72,9 +73,11 @@ __all__ = [
     "Profiler",
     "QuerySpan",
     "SpanRecorder",
+    "StalenessSummary",
     "WindowSnapshot",
     "active_profiler",
     "load_manifest",
+    "summarize_staleness",
     "replay_config",
     "verify_manifest",
     "write_manifest",

@@ -48,6 +48,7 @@ from repro.faults.plan import (
     GilbertElliott,
     PartitionWindow,
 )
+from repro.freshness.plan import CacheSizing, FreshnessPlan
 from repro.resilience.breaker import BreakerSpec
 from repro.resilience.budget import BudgetSpec
 from repro.resilience.policy import ResiliencePolicy, SheddingSpec
@@ -184,6 +185,30 @@ def gossip_from_jsonable(
     return GossipPlan(**data)
 
 
+def freshness_to_jsonable(
+    freshness: Optional[FreshnessPlan],
+) -> Optional[Dict[str, Any]]:
+    """JSON-ready dict for a :class:`FreshnessPlan` (None stays None).
+
+    ``asdict`` recurses into the nested :class:`CacheSizing`, so the
+    entry is a plain two-level dict of scalars.
+    """
+    if freshness is None:
+        return None
+    return asdict(freshness)
+
+
+def freshness_from_jsonable(
+    data: Optional[Dict[str, Any]],
+) -> Optional[FreshnessPlan]:
+    """Inverse of :func:`freshness_to_jsonable`."""
+    if data is None:
+        return None
+    data = dict(data)
+    data["sizing"] = CacheSizing(**data["sizing"])
+    return FreshnessPlan(**data)
+
+
 # ----------------------------------------------------------------------
 # Recording
 # ----------------------------------------------------------------------
@@ -213,6 +238,7 @@ class ManifestRecorder:
         resilience: Optional[ResiliencePolicy] = None,
         satisfaction_window: Optional[float] = None,
         gossip: Optional[GossipPlan] = None,
+        freshness: Optional[FreshnessPlan] = None,
     ) -> None:
         """Append one executed configuration with its seeds and digests."""
         self.configs.append({
@@ -222,6 +248,7 @@ class ManifestRecorder:
             "scenarios": scenarios_to_jsonable(scenarios),
             "resilience": resilience_to_jsonable(resilience),
             "gossip": gossip_to_jsonable(gossip),
+            "freshness": freshness_to_jsonable(freshness),
             "satisfaction_window": satisfaction_window,
             "duration": duration,
             "warmup": warmup,
@@ -331,6 +358,7 @@ def specs_for_entry(entry: Dict[str, Any]) -> List[TrialSpec]:
             resilience=resilience_from_jsonable(entry.get("resilience")),
             satisfaction_window=entry.get("satisfaction_window"),
             gossip=gossip_from_jsonable(entry.get("gossip")),
+            freshness=freshness_from_jsonable(entry.get("freshness")),
         )
         for trial in range(entry["trials"])
     ]
@@ -359,6 +387,7 @@ def replay_config(entry: Dict[str, Any], *, workers: int = 1) -> Tuple[str, ...]
         resilience=resilience_from_jsonable(entry.get("resilience")),
         satisfaction_window=entry.get("satisfaction_window"),
         gossip=gossip_from_jsonable(entry.get("gossip")),
+        freshness=freshness_from_jsonable(entry.get("freshness")),
     )
     return tuple(report.trace_digest for report in reports)
 

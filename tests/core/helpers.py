@@ -8,6 +8,7 @@ from repro.core.malicious import AttackDirectory, MaliciousPeer
 from repro.core.params import BadPongBehavior, ProtocolParams
 from repro.core.peer import GuessPeer
 from repro.core.policies import PolicySet
+from repro.resilience.policy import ResiliencePolicy
 
 
 def make_peer(
@@ -20,6 +21,8 @@ def make_peer(
     death_time: float = 1e9,
     max_probes_per_second: int | None = None,
     seed: int = 0,
+    resilience: ResiliencePolicy | None = None,
+    cache_capacity: int | None = None,
 ) -> GuessPeer:
     """A standalone good peer with self-contained RNGs."""
     protocol = (protocol or ProtocolParams(cache_size=10)).normalized()
@@ -34,6 +37,8 @@ def make_peer(
         max_probes_per_second=max_probes_per_second,
         policy_rng=random.Random(seed),
         intro_rng=random.Random(seed + 1),
+        resilience=resilience,
+        cache_capacity=cache_capacity,
     )
 
 

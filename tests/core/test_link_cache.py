@@ -51,8 +51,10 @@ class TestBasics:
         assert cache.get(1).num_files == 10
 
     def test_capacity_validated(self):
+        # Zero is legal (heterogeneous CacheSizing can assign it);
+        # negative capacities are always a bug.
         with pytest.raises(ConfigError):
-            LinkCache(capacity=0, owner=0)
+            LinkCache(capacity=-1, owner=0)
 
     def test_evict(self, random_replacement, rng):
         cache = LinkCache(capacity=3, owner=0)

@@ -46,6 +46,8 @@ class TestCoverage:
             "storm_recovery",
             "gossip_compare",
             "gossip_faulty",
+            "freshness_grid",
+            "freshness_recovery",
         }
         assert set(EXPERIMENT_SUITE) == paper | beyond_paper
 
@@ -59,3 +61,7 @@ class TestCoverage:
     def test_storm_ids_map_to_churn_storm(self):
         assert resolve_suites(["storm_grid"]) == ["churn_storm"]
         assert resolve_suites(["storm_recovery"]) == ["churn_storm"]
+
+    def test_freshness_ids_map_to_cache_freshness(self):
+        assert resolve_suites(["freshness_grid"]) == ["cache_freshness"]
+        assert resolve_suites(["freshness_recovery"]) == ["cache_freshness"]

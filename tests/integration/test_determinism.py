@@ -16,6 +16,7 @@ from repro.core.network_sim import GuessSimulation
 from repro.core.params import BadPongBehavior, ProtocolParams, SystemParams
 from repro.experiments.runner import run_guess_config
 from repro.faults.plan import BrownoutSpec, FaultPlan, PartitionWindow
+from repro.freshness import CacheSizing, FreshnessPlan
 from repro.observe.plan import ObservationPlan
 from repro.resilience import (
     ChurnStorm,
@@ -41,7 +42,8 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
              scheduler: str = "heap",
              scenarios: ScenarioPlan | None = None,
              resilience: ResiliencePolicy | None = None,
-             gossip: GossipPlan | None = None):
+             gossip: GossipPlan | None = None,
+             freshness: FreshnessPlan | None = None):
     """One small, full-featured run; returns (digest, report)."""
     sim = GuessSimulation(
         SystemParams(
@@ -58,6 +60,7 @@ def run_once(seed: int, *, percent_bad: float = 0.0,
         scenarios=scenarios,
         resilience=resilience,
         gossip=gossip,
+        freshness=freshness,
     )
     sim.run(DURATION)
     report = sim.report()
@@ -165,9 +168,12 @@ class TestGossipAssistedPins:
 
     #: The armed cell actually disseminates: the digest must differ from
     #: the clean pin (gossip hops are scheduled events) and must never
-    #: drift across versions.
+    #: drift across versions.  Re-pinned when query-reply pongs started
+    #: seeding rumors too (previously only ping harvests did — the armed
+    #: relay now schedules strictly more gossip hops; the old digest was
+    #: 867064cac1a1a5ab827994c71d74b2fb).
     ARMED = GossipPlan(fanout=2, ttl=2)
-    PIN = "867064cac1a1a5ab827994c71d74b2fb"
+    PIN = "02dded03f40b06909cb76f0b6d7c07f3"
 
     def test_armed_gossip_digest_pinned(self):
         digest, report = run_once(7, gossip=self.ARMED)
@@ -234,6 +240,112 @@ class TestGossipAssistedPins:
         )
         assert serial == parallel
         assert sum(r.gossip_pushes for r in serial) > 0
+
+
+class TestFreshnessPins:
+    """Fifth golden pin: push invalidation + heterogeneous cache sizing.
+
+    A fixed-seed cell with the freshness layer armed (budgeted departure
+    notices, interest-path forwarding, power-law cache sizing) is pinned
+    under both schedulers, and a *disabled* :class:`FreshnessPlan` must
+    be contractually invisible — :meth:`FreshnessMediator.from_plan`
+    returns ``None`` for it, so every earlier pin reproduces bit for
+    bit.
+    """
+
+    #: The armed cell actually invalidates: purged receivers forward the
+    #: notice as scheduled ``freshness`` events, so the digest must
+    #: differ from the clean pin and never drift across versions.
+    ARMED = FreshnessPlan(
+        notify_budget=3, depth=2, sizing=CacheSizing(policy="power-law")
+    )
+    PIN = "a28d28449b4e7e6f6317be5f8ab6a815"
+
+    def test_armed_freshness_digest_pinned(self):
+        digest, report = run_once(7, freshness=self.ARMED)
+        assert digest == self.PIN
+        assert report.freshness_notices > 0
+        assert report.freshness_notices_delivered > 0
+        assert report.freshness_purges > 0
+        assert report.freshness_refresh_imports > 0
+
+    def test_armed_freshness_pin_reproduced_on_wheel(self):
+        digest, heap_report = run_once(7, freshness=self.ARMED)
+        wheel_digest, wheel_report = run_once(
+            7, freshness=self.ARMED, scheduler="wheel"
+        )
+        assert digest == self.PIN
+        assert wheel_digest == self.PIN
+        assert heap_report == wheel_report
+
+    def test_armed_freshness_actually_changes_the_run(self):
+        clean_digest, _ = run_once(7)
+        armed_digest, _ = run_once(7, freshness=self.ARMED)
+        assert armed_digest != clean_digest
+
+    def test_disabled_plan_reproduces_clean_pin(self):
+        digest, report = run_once(7, freshness=FreshnessPlan())
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+        assert report.freshness_notices == 0
+        assert report.freshness_purges == 0
+
+    def test_zero_depth_plan_reproduces_clean_pin(self):
+        digest, _ = run_once(
+            7, freshness=FreshnessPlan(notify_budget=4, depth=0)
+        )
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_disabled_plan_reproduces_attack_pin(self):
+        digest, _ = run_once(
+            11, percent_bad=10.0, behavior=BadPongBehavior.BAD,
+            freshness=FreshnessPlan(),
+        )
+        assert digest == "23d74325e25c2c9e44279d38a317edbe"
+
+    def test_disabled_plan_reproduces_loss_retry_pin(self):
+        digest, _ = run_once(
+            7, faults=FaultPlan(loss_rate=0.05), probe_retries=2,
+            freshness=FreshnessPlan(),
+        )
+        assert digest == "6433f3abe18fda0f316241089d67313b"
+
+    def test_disabled_plan_reproduces_armed_gossip_pin(self):
+        digest, _ = run_once(
+            7, gossip=TestGossipAssistedPins.ARMED, freshness=FreshnessPlan()
+        )
+        assert digest == TestGossipAssistedPins.PIN
+
+    def test_stale_split_is_recorded_without_a_plan(self):
+        """The fresh/stale dead-probe split is pure accounting — it is
+        live even with no plan, and never exceeds the dead totals."""
+        _, report = run_once(7)
+        total_dead = report.dead_probes + report.dead_pings
+        assert 0 < report.stale_dead_probes <= total_dead
+        assert report.fresh_dead_probes == total_dead - report.stale_dead_probes
+
+    def test_parallel_trials_identical_to_serial(self):
+        """``--workers 2 --verify-parallel`` for the freshness cell:
+        trial fan-out over a process pool returns byte-identical
+        reports (the plan, nested sizing included, must pickle)."""
+        # Notices fire only at (post-warmup) departures, so this cell
+        # runs longer than the gossip one to guarantee a few deaths.
+        kwargs = dict(
+            duration=280.0,
+            warmup=20.0,
+            trials=2,
+            base_seed=31,
+            freshness=self.ARMED,
+        )
+        serial = run_guess_config(
+            SystemParams(network_size=60), ProtocolParams(cache_size=15),
+            workers=1, **kwargs,
+        )
+        parallel = run_guess_config(
+            SystemParams(network_size=60), ProtocolParams(cache_size=15),
+            workers=2, **kwargs,
+        )
+        assert serial == parallel
+        assert sum(r.freshness_notices for r in serial) > 0
 
 
 class TestWheelSchedulerPins:
